@@ -1,0 +1,64 @@
+"""Theorem 1 ablation: FDR of p-value-blind "important" subsets.
+
+Sec. 6 proves that starring a subset of discoveries independently of their
+p-values preserves FDR control.  This benchmark measures the empirical
+subset FDR across subset fractions and confirms it never exceeds the full
+FDR budget — and that a p-value-*dependent* selection (the anti-pattern
+the theorem's precondition excludes) can break it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.procedures.fdr import benjamini_hochberg_mask
+from repro.procedures.important import important_subset_fdr
+
+
+def _simulate(alpha=0.1, reps=400, m=80, n_alt=25, seed=0):
+    rng = np.random.default_rng(seed)
+    blind = {0.25: [], 0.5: [], 0.75: []}
+    adversarial = []
+    for _ in range(reps):
+        null = np.ones(m, dtype=bool)
+        null[rng.choice(m, size=n_alt, replace=False)] = False
+        p = np.where(null, rng.uniform(size=m), rng.beta(0.08, 1.0, size=m))
+        mask = benjamini_hochberg_mask(p, alpha)
+        for fraction in blind:
+            blind[fraction].append(
+                important_subset_fdr(mask, null, fraction, n_draws=30,
+                                     seed=rng.integers(2**31))
+            )
+        # Anti-pattern: keep only the *weakest* discoveries (largest
+        # p-values) — exactly what Theorem 1 forbids.
+        idx = np.nonzero(mask)[0]
+        if idx.size:
+            weakest = idx[np.argsort(p[idx])][-max(1, idx.size // 4):]
+            adversarial.append(null[weakest].mean())
+        else:
+            adversarial.append(0.0)
+    return (
+        {k: float(np.mean(v)) for k, v in blind.items()},
+        float(np.mean(adversarial)),
+    )
+
+
+def test_theorem1_subset_fdr(benchmark):
+    alpha = 0.1
+    blind, adversarial = benchmark.pedantic(
+        lambda: _simulate(alpha=alpha), rounds=1, iterations=1
+    )
+    # Blind subsets: controlled at alpha for every subset fraction.
+    for fraction, value in blind.items():
+        assert value <= alpha + 0.02, f"fraction {fraction}: {value}"
+    # P-value-dependent selection concentrates the false discoveries: the
+    # weakest-quartile subset carries a much higher false share.
+    assert adversarial > alpha + 0.05
+
+    benchmark.extra_info["blind_subset_fdr"] = {
+        str(k): round(v, 4) for k, v in blind.items()
+    }
+    benchmark.extra_info["adversarial_subset_fdr"] = round(adversarial, 4)
+    benchmark.extra_info["paper_claim"] = (
+        "Theorem 1: p-value-independent subsets keep E[|V∩R'|/|R'|] <= alpha"
+    )

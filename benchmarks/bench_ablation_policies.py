@@ -1,0 +1,212 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+The paper pre-sets β = 0.25, γ = 10, δ = 10, ε = 0.5, ψ = 1/2 by
+"rule-of-thumb judgements" (Sec. 7.2) and η = 1-α, ω = α by convention
+(Sec. 5.1).  These ablations sweep each knob and verify the qualitative
+story the paper tells about it — while checking that mFDR control never
+breaks, whatever the setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_REPS
+from repro.experiments.runner import ProcedureSpec, StreamSample, run_comparison
+from repro.workloads.synthetic import ZStreamGenerator
+
+
+def _factory(m, null_proportion, support_range=None):
+    generator = ZStreamGenerator(
+        m=m, null_proportion=null_proportion, support_range=support_range
+    )
+
+    def factory(rng: np.random.Generator) -> StreamSample:
+        stream = generator.sample(rng)
+        return StreamSample(
+            p_values=stream.p_values,
+            null_mask=stream.null_mask,
+            support_fractions=stream.support_fractions,
+        )
+
+    return factory
+
+
+def test_ablation_gamma_sweep(benchmark):
+    """Sec. 5.4's guidance, measured: small gamma (5) suits short confident
+    streams; large gamma (50-100) suits long random ones."""
+    specs = [
+        ProcedureSpec("gamma-fixed", kwargs={"gamma": g}, label=f"gamma={g:g}")
+        for g in (5.0, 10.0, 20.0, 50.0, 100.0)
+    ]
+
+    def sweep():
+        long_random = run_comparison(
+            specs, _factory(64, 0.75), n_reps=BENCH_REPS, seed=10
+        )
+        short_confident = run_comparison(
+            specs, _factory(8, 0.25), n_reps=BENCH_REPS, seed=10
+        )
+        return long_random, short_confident
+
+    long_random, short_confident = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for result in (long_random, short_confident):
+        for label, summary in result.items():
+            assert summary.avg_fdr <= 0.05 + 0.03, label
+    # Long random stream: gamma=5 exhausts early and loses badly.
+    assert long_random["gamma=50"].avg_power > long_random["gamma=5"].avg_power
+    # Short confident stream: gamma=5 front-loads budget and wins.
+    assert short_confident["gamma=5"].avg_power > short_confident["gamma=100"].avg_power
+    benchmark.extra_info["power_by_gamma_long_random"] = {
+        k: round(v.avg_power, 4) for k, v in long_random.items()
+    }
+    benchmark.extra_info["power_by_gamma_short_confident"] = {
+        k: round(v.avg_power, 4) for k, v in short_confident.items()
+    }
+
+
+def test_ablation_beta_sweep(benchmark):
+    """beta=0 (best-foot-forward) spends everything early; large beta lasts."""
+    specs = [
+        ProcedureSpec("beta-farsighted", kwargs={"beta": b}, label=f"beta={b:g}")
+        for b in (0.0, 0.25, 0.5, 0.9)
+    ]
+    result = benchmark.pedantic(
+        lambda: run_comparison(specs, _factory(64, 0.75), n_reps=BENCH_REPS, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    for label, summary in result.items():
+        assert summary.avg_fdr <= 0.05 + 0.03, label
+    # Preserving more wealth (larger beta) must help on long noisy streams.
+    assert result["beta=0.9"].avg_power >= result["beta=0"].avg_power
+    benchmark.extra_info["power_by_beta"] = {
+        k: round(v.avg_power, 4) for k, v in result.items()
+    }
+
+
+def test_ablation_hybrid_window(benchmark):
+    """The paper uses an unlimited window; small windows react faster but
+    estimate randomness noisily.  Control must hold for any window."""
+    specs = [
+        ProcedureSpec("epsilon-hybrid", kwargs={"window": w}, label=f"window={w}")
+        for w in (3, 10, 50)
+    ] + [ProcedureSpec("epsilon-hybrid", label="window=unlimited")]
+    result = benchmark.pedantic(
+        lambda: run_comparison(specs, _factory(64, 0.5), n_reps=BENCH_REPS, seed=12),
+        rounds=1,
+        iterations=1,
+    )
+    for label, summary in result.items():
+        assert summary.avg_fdr <= 0.05 + 0.03, label
+    benchmark.extra_info["power_by_window"] = {
+        k: round(v.avg_power, 4) for k, v in result.items()
+    }
+
+
+def test_ablation_psi_exponent(benchmark):
+    """Sec. 5.7 suggests psi in {1, 2/3, 1/2, 1/3}; steeper exponents
+    discount thin-support hypotheses harder, trading power for FDR."""
+    specs = [
+        ProcedureSpec("psi-support", kwargs={"psi": p}, label=f"psi={p}")
+        for p in (1.0 / 3.0, 0.5, 1.0)
+    ] + [ProcedureSpec("gamma-fixed", label="no-support-correction")]
+    factory = _factory(64, 0.75, support_range=(0.05, 1.0))
+    result = benchmark.pedantic(
+        lambda: run_comparison(specs, factory, n_reps=BENCH_REPS, seed=13),
+        rounds=1,
+        iterations=1,
+    )
+    uncorrected = result["no-support-correction"]
+    steepest = result["psi=1.0"]
+    assert steepest.avg_fdr <= uncorrected.avg_fdr + 0.005
+    for label, summary in result.items():
+        assert summary.avg_fdr <= 0.05 + 0.03, label
+    benchmark.extra_info["fdr_by_psi"] = {
+        k: round(v.avg_fdr, 4) for k, v in result.items()
+    }
+
+
+def test_ablation_eta_omega(benchmark):
+    """eta=1-alpha (default) vs eta=1; omega=alpha vs omega=alpha/2.
+
+    Larger eta/omega buy power; control of mFDR_eta holds regardless
+    (Foster & Stine's theorem covers all of these)."""
+    specs = [
+        ProcedureSpec("gamma-fixed", label="eta=1-a,omega=a"),
+        ProcedureSpec("gamma-fixed", kwargs={"eta": 1.0}, label="eta=1,omega=a"),
+        ProcedureSpec("gamma-fixed", kwargs={"omega": 0.025}, label="eta=1-a,omega=a/2"),
+    ]
+    result = benchmark.pedantic(
+        lambda: run_comparison(specs, _factory(64, 0.75), n_reps=BENCH_REPS, seed=14),
+        rounds=1,
+        iterations=1,
+    )
+    assert (
+        result["eta=1,omega=a"].avg_power >= result["eta=1-a,omega=a"].avg_power - 0.01
+    )
+    assert (
+        result["eta=1-a,omega=a/2"].avg_power
+        <= result["eta=1-a,omega=a"].avg_power + 0.01
+    )
+    for label, summary in result.items():
+        assert summary.avg_fdr <= 0.05 + 0.03, label
+    benchmark.extra_info["power_by_wealth_params"] = {
+        k: round(v.avg_power, 4) for k, v in result.items()
+    }
+
+
+def _ordered_factory(m, null_proportion):
+    """Streams with all alternatives *first* — the ordered-hypothesis regime
+    both G'Sell rules are designed for (StrongStop's FWER guarantee assumes
+    signals precede nulls)."""
+    generator = ZStreamGenerator(m=m, null_proportion=null_proportion)
+
+    def factory(rng: np.random.Generator) -> StreamSample:
+        stream = generator.sample(rng)
+        order = np.argsort(stream.null_mask, kind="stable")  # False (alt) first
+        return StreamSample(
+            p_values=stream.p_values[order],
+            null_mask=stream.null_mask[order],
+            support_fractions=stream.support_fractions[order],
+        )
+
+    return factory
+
+
+def test_ablation_seqfdr_vs_strongstop(benchmark):
+    """ForwardStop (FDR) vs StrongStop (FWER-under-ordering).
+
+    Both rules assume prefix-rejectable streams.  Under the global null
+    each must stay near zero discoveries; on favourably-ordered streams
+    (signals first) both control FDR, and StrongStop — whose suffix
+    statistic aggregates all downstream evidence — can legitimately reject
+    *more* than ForwardStop, whose running mean is dragged up by the weak
+    alternatives.  We assert control, not a discovery ordering.
+    """
+    specs = [ProcedureSpec("seqfdr"), ProcedureSpec("seqfdr-strong")]
+
+    def both_regimes():
+        null_regime = run_comparison(
+            specs, _factory(64, 1.0), n_reps=BENCH_REPS, seed=15
+        )
+        ordered_regime = run_comparison(
+            specs, _ordered_factory(64, 0.75), n_reps=BENCH_REPS, seed=16
+        )
+        return null_regime, ordered_regime
+
+    null_regime, ordered_regime = benchmark.pedantic(
+        both_regimes, rounds=1, iterations=1
+    )
+    # Global null: FWER-style control for both (few/no discoveries).
+    for label, summary in null_regime.items():
+        assert summary.avg_discoveries <= 0.2, label
+    # Ordered signals: FDR controlled for both.
+    for label, summary in ordered_regime.items():
+        assert summary.avg_fdr <= 0.05 + 0.03, label
+    benchmark.extra_info["ordered_discoveries"] = {
+        k: round(v.avg_discoveries, 3) for k, v in ordered_regime.items()
+    }
+    benchmark.extra_info["null_discoveries"] = {
+        k: round(v.avg_discoveries, 3) for k, v in null_regime.items()
+    }

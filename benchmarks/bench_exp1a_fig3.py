@@ -1,0 +1,45 @@
+"""Figure 3 (Exp. 1a): static procedures on synthetic data.
+
+Regenerates every panel of Figure 3 — average discoveries, average FDR and
+average power for PCER / Bonferroni / BHFDR at m in {4..64} under 75 % and
+100 % true nulls — and records the headline cells the paper discusses.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_REPS
+from repro.experiments import render_figure, run_exp1a
+
+
+def test_fig3_static_procedures(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_exp1a(n_reps=BENCH_REPS, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure(result))
+
+    # Paper shape: PCER has the highest power AND the highest FDR;
+    # Bonferroni the lowest of both; BHFDR controls FDR at alpha.
+    for m in (16, 64):
+        pcer = result.get("75% Null", m, "pcer")
+        bonf = result.get("75% Null", m, "bonferroni")
+        bh = result.get("75% Null", m, "bhfdr")
+        assert pcer.avg_power > bh.avg_power > bonf.avg_power
+        assert pcer.avg_fdr > bh.avg_fdr
+        assert bh.avg_fdr <= 0.05 + 0.02
+
+    null_fdr_64 = result.get("100% Null", 64, "pcer").avg_fdr
+    assert null_fdr_64 > 0.5  # PCER: "most discoveries are bogus"
+
+    benchmark.extra_info["pcer_fdr_100null_m64"] = round(null_fdr_64, 4)
+    benchmark.extra_info["bhfdr_fdr_75null_m64"] = round(
+        result.get("75% Null", 64, "bhfdr").avg_fdr, 4
+    )
+    benchmark.extra_info["bonferroni_power_75null_m64"] = round(
+        result.get("75% Null", 64, "bonferroni").avg_power, 4
+    )
+    benchmark.extra_info["paper_claim"] = (
+        "PCER max power+FDR; Bonferroni min both; BHFDR FDR<=alpha (Fig 3)"
+    )

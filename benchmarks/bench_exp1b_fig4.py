@@ -1,0 +1,61 @@
+"""Figure 4 (Exp. 1b): incremental procedures vs number of hypotheses.
+
+Regenerates all eight panels: SeqFDR against the five investing rules at
+null proportions 25/75/100 % for m in {4..64}.  Asserts the paper's
+headline orderings (FDR control everywhere; the γ-fixed/δ-hopeful
+crossover; SeqFDR's power collapse; ε-hybrid robustness).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_REPS
+from repro.experiments import render_figure, run_exp1b
+
+
+def test_fig4_incremental_procedures(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_exp1b(n_reps=BENCH_REPS, seed=2),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure(result, metrics=("discoveries", "fdr", "power")))
+
+    # (b)(e)(h): every procedure controls average FDR at ~alpha.
+    for panel in ("25% Null", "75% Null", "100% Null"):
+        for m in (4, 16, 64):
+            for proc in result.procedures():
+                assert result.get(panel, m, proc).avg_fdr <= 0.05 + 0.04
+
+    # Sec. 7.2.2: gamma-fixed wins under high randomness, loses under low.
+    gamma_hi = result.get("75% Null", 64, "gamma-fixed").avg_power
+    delta_hi = result.get("75% Null", 64, "delta-hopeful").avg_power
+    gamma_lo = result.get("25% Null", 64, "gamma-fixed").avg_power
+    delta_lo = result.get("25% Null", 64, "delta-hopeful").avg_power
+    assert gamma_hi > delta_hi
+    assert delta_lo > gamma_lo
+
+    # Hybrid tracks the better of the two in both regimes.
+    hybrid_hi = result.get("75% Null", 64, "epsilon-hybrid").avg_power
+    hybrid_lo = result.get("25% Null", 64, "epsilon-hybrid").avg_power
+    assert hybrid_hi >= min(gamma_hi, delta_hi)
+    assert hybrid_lo >= min(gamma_lo, delta_lo)
+
+    # SeqFDR's power collapses as the stream grows.
+    seq_4 = result.get("25% Null", 4, "seqfdr").avg_power
+    seq_64 = result.get("25% Null", 64, "seqfdr").avg_power
+    assert seq_64 < seq_4
+
+    benchmark.extra_info["gamma_vs_delta_power_75null_m64"] = (
+        round(gamma_hi, 4),
+        round(delta_hi, 4),
+    )
+    benchmark.extra_info["gamma_vs_delta_power_25null_m64"] = (
+        round(gamma_lo, 4),
+        round(delta_lo, 4),
+    )
+    benchmark.extra_info["seqfdr_power_collapse"] = (round(seq_4, 4), round(seq_64, 4))
+    benchmark.extra_info["paper_claim"] = (
+        "all rules FDR<=alpha; gamma/delta crossover by randomness; "
+        "hybrid robust; SeqFDR power decays with m (Fig 4)"
+    )

@@ -1,0 +1,70 @@
+"""Interactive-latency microbenchmarks.
+
+AWARE's premise is that error control must keep up with an *interactive*
+tool: every gesture triggers a hypothesis test plus a budget decision.
+These benchmarks time the hot paths — one investing decision, one
+heuristic-derived panel, one full 115-step workflow replay — and assert
+they stay comfortably inside interactive budgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exploration.predicate import Eq
+from repro.exploration.session import ExplorationSession
+from repro.procedures.registry import make_procedure
+
+
+def test_investing_decision_latency(benchmark):
+    """One alpha-investing test decision: should be ~microseconds."""
+    proc = make_procedure("epsilon-hybrid")
+    p_values = iter(np.random.default_rng(0).uniform(size=2_000_000))
+
+    def one_decision():
+        proc.test(float(next(p_values)))
+
+    benchmark(one_decision)
+    assert benchmark.stats.stats.mean < 1e-3  # << 1 ms per decision
+
+
+def test_session_show_latency(benchmark, bench_census):
+    """One filtered panel end-to-end: histogram + chi-square + budgeting.
+
+    The paper's interactivity bar is ~100 ms per gesture; at 10k rows we
+    must sit far below it.
+    """
+    session = ExplorationSession(bench_census, procedure="beta-farsighted")
+    categories = bench_census.categories("occupation")
+    state = {"i": 0}
+
+    def one_panel():
+        cat = categories[state["i"] % len(categories)]
+        state["i"] += 1
+        session.show("sex", where=Eq("occupation", cat))
+
+    benchmark(one_panel)
+    assert benchmark.stats.stats.mean < 0.1
+
+
+def test_workflow_replay_throughput(benchmark, bench_census, bench_workflow):
+    """Full 115-step workflow on a 50 % sample — the Exp. 2 inner loop."""
+    sample = bench_census.sample_fraction(0.5, seed=1)
+
+    result = benchmark(lambda: bench_workflow.run(sample))
+    assert len(result) == 115
+    assert benchmark.stats.stats.mean < 2.0
+
+
+def test_procedure_stream_throughput(benchmark):
+    """Applying gamma-fixed to a 1000-hypothesis stream."""
+    from repro.procedures.base import apply_to_stream
+
+    rng = np.random.default_rng(1)
+    p = rng.uniform(size=1000)
+
+    def run_stream():
+        return apply_to_stream(make_procedure("gamma-fixed"), p)
+
+    mask = benchmark(run_stream)
+    assert mask.shape == (1000,)

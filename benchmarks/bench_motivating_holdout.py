@@ -1,0 +1,60 @@
+"""Sec. 1 motivating arithmetic and Sec. 4.1 hold-out analysis benchmarks.
+
+Two artifacts that are numbers rather than figures: the "≈13 discoveries,
+≈40 % bogus" scenario and the hold-out power trade-off (0.99 → 0.76).
+Both are verified in closed form *and* by Monte-Carlo on real tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    expected_discoveries,
+    false_discovery_inflation,
+    holdout_analysis,
+    simulate_holdout,
+    simulate_motivating_example,
+)
+
+
+def test_motivating_example(benchmark):
+    summary = benchmark.pedantic(
+        lambda: simulate_motivating_example(n_reps=1500, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    closed = expected_discoveries()
+    assert summary.avg_discoveries == pytest.approx(closed.expected_discoveries, abs=0.4)
+    assert summary.avg_fdr == pytest.approx(closed.bogus_fraction, abs=0.03)
+    assert false_discovery_inflation(2) == pytest.approx(0.098, abs=5e-4)
+    assert false_discovery_inflation(4) == pytest.approx(0.185, abs=5e-4)
+
+    benchmark.extra_info["paper"] = {"discoveries": 12.5, "bogus_fraction": 0.40}
+    benchmark.extra_info["measured"] = {
+        "discoveries": round(summary.avg_discoveries, 2),
+        "bogus_fraction": round(summary.avg_fdr, 3),
+    }
+
+
+def test_holdout_analysis(benchmark):
+    sim = benchmark.pedantic(
+        lambda: simulate_holdout(n_reps=1500, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    closed = holdout_analysis()
+    assert closed.power_full == pytest.approx(0.99, abs=0.005)
+    assert closed.power_holdout == pytest.approx(0.76, abs=0.01)
+    assert sim["full"] == pytest.approx(closed.power_full, abs=0.02)
+    assert sim["holdout"] == pytest.approx(closed.power_holdout, abs=0.04)
+
+    null_sim = simulate_holdout(n_reps=1500, under_null=True, seed=8)
+    assert null_sim["holdout"] <= 0.012  # ~alpha^2
+
+    benchmark.extra_info["paper"] = {"full": 0.99, "half": 0.87, "holdout": 0.76}
+    benchmark.extra_info["measured"] = {
+        "full": round(sim["full"], 3),
+        "holdout": round(sim["holdout"], 3),
+        "type1_holdout": round(null_sim["holdout"], 4),
+    }

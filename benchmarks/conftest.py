@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one paper artifact (figure panel, table, or
+analysis) at reduced-but-meaningful repetition counts, asserts the
+qualitative shape the paper reports, and attaches the measured headline
+numbers to ``benchmark.extra_info`` so the JSON output doubles as a
+paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.census import make_census
+from repro.workloads.ground_truth import label_ground_truth
+from repro.workloads.user_study import make_user_study_workflow
+
+#: Repetitions used by the figure benchmarks; enough for stable orderings.
+BENCH_REPS = 150
+#: Census scale for Exp. 2 benchmarks (full scale is 30k).
+BENCH_CENSUS_ROWS = 10_000
+
+
+@pytest.fixture(scope="session")
+def bench_census():
+    """Census shared by every Exp. 2 benchmark."""
+    return make_census(BENCH_CENSUS_ROWS, seed=0)
+
+
+@pytest.fixture(scope="session")
+def bench_workflow(bench_census):
+    """The fixed 115-step workflow over the benchmark census."""
+    return make_user_study_workflow(bench_census, n_steps=115, seed=42)
+
+
+@pytest.fixture(scope="session")
+def bench_labelled(bench_census, bench_workflow):
+    """Full-data Bonferroni ground truth for the benchmark workflow."""
+    return label_ground_truth(bench_workflow, bench_census, alpha=0.05)

@@ -1,0 +1,107 @@
+"""Eve's census session — the paper's Sec. 2 walkthrough, end to end.
+
+Run with::
+
+    python examples/census_exploration.py
+
+Steps A–F of Figure 1, executed against the synthetic census:
+
+  A  gender histogram (descriptive, rule 1)
+  B  gender | salary>50k             -> default hypothesis m1 (rule 2)
+  C  gender | salary<=50k next to B  -> m1' supersedes m1 (rule 3)
+  D  marital status | PhD            -> m2
+  E  salary | PhD, not married       -> m3
+  F  age comparison of high/low earners among unmarried PhDs,
+     overridden from a distribution test (m4) to a mean t-test (m4')
+
+plus the bookkeeping the paper's UI surfaces: bookmarking important
+discoveries (Theorem 1) and deleting a stepping-stone hypothesis.
+"""
+
+from __future__ import annotations
+
+from repro.exploration import Eq, ExplorationSession, Not, chain
+from repro.workloads.census import make_census
+
+
+def main() -> None:
+    census = make_census(30_000, seed=0)
+    session = ExplorationSession(census, procedure="epsilon-hybrid", alpha=0.05)
+
+    print("=== A: gender distribution (descriptive) ===")
+    a = session.show("sex")
+    print(a.histogram.render())
+    print()
+
+    print("=== B: gender | salary > 50k  (default hypothesis m1) ===")
+    b = session.show("sex", where=Eq("salary_over_50k", "True"))
+    print(b.histogram.render())
+    print(b.hypothesis.describe())
+    print()
+
+    print("=== C: gender | salary <= 50k next to B  (m1' supersedes m1) ===")
+    c = session.show("sex", where=Not(Eq("salary_over_50k", "True")))
+    print(c.hypothesis.describe())
+    superseded = session.history()[0]
+    print(f"    (m1 is now {superseded.status.value})")
+    print()
+
+    print("=== D: marital status | education = PhD  (m2) ===")
+    d = session.show("marital_status", where=Eq("education", "PhD"))
+    print(d.hypothesis.describe())
+    print()
+
+    print("=== E: salary | PhD and not married  (m3) ===")
+    e = session.show(
+        chain(
+            "salary_over_50k",
+            Eq("education", "PhD"),
+            Not(Eq("marital_status", "Married")),
+        )
+    )
+    print(e.hypothesis.describe())
+    print()
+
+    print("=== F: age of high vs low earners among unmarried PhDs ===")
+    high_earners = chain(
+        "age",
+        Eq("education", "PhD"),
+        Not(Eq("marital_status", "Married")),
+        Eq("salary_over_50k", "True"),
+    )
+    low_earners = chain(
+        "age",
+        Eq("education", "PhD"),
+        Not(Eq("marital_status", "Married")),
+        Not(Eq("salary_over_50k", "True")),
+    )
+    m4 = session.compare(high_earners, low_earners)
+    print(f"default m4 : {m4.describe()}")
+    report = session.override_with_means(m4.hypothesis_id)
+    m4_prime = session.history()[-1]
+    print(f"override m4': {m4_prime.describe()}")
+    if report.changed:
+        print(f"    (override replayed the stream; {len(report.changed)} later "
+              "decision(s) changed)")
+    print()
+
+    print("=== Eve stars her headline findings (Theorem 1) ===")
+    for hyp in session.discoveries():
+        if hyp.kind in ("rule3-two-sample", "override"):
+            session.star(hyp.hypothesis_id)
+    for hyp in session.important_discoveries():
+        print(f"  * {hyp.alternative_description}")
+    print()
+
+    print("=== D was just a stepping stone; Eve deletes m2 ===")
+    report = session.delete(d.hypothesis.hypothesis_id)
+    print(f"deleted hypothesis {report.revised_id}; "
+          f"{len(report.changed)} later decision(s) changed")
+    print()
+
+    print("=== Final risk gauge ===")
+    print(session.gauge().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Choosing an investing rule: a side-by-side shootout.
+
+Run with::
+
+    python examples/policy_comparison.py
+
+Compares every investing rule (plus SeqFDR and the static references) on
+three exploration regimes — confident, noisy, and hopeless — and prints
+the average-FDR / average-power tables that justify the paper's guidance:
+
+* β-farsighted when early hypotheses matter most,
+* γ-fixed for noisy data, δ-hopeful for signal-rich data,
+* ε-hybrid when you do not know which regime you are in,
+* ψ-support when filters shrink the supporting population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.runner import ProcedureSpec, StreamSample, run_comparison
+from repro.workloads.synthetic import ZStreamGenerator
+
+REGIMES = {
+    "signal-rich (25% null)": dict(null_proportion=0.25),
+    "noisy (75% null)": dict(null_proportion=0.75),
+    "hopeless (100% null)": dict(null_proportion=1.0),
+}
+
+PROCEDURES = [
+    ProcedureSpec("pcer", label="pcer (no control)"),
+    ProcedureSpec("bonferroni"),
+    ProcedureSpec("bhfdr"),
+    ProcedureSpec("seqfdr"),
+    ProcedureSpec("beta-farsighted"),
+    ProcedureSpec("gamma-fixed"),
+    ProcedureSpec("delta-hopeful"),
+    ProcedureSpec("epsilon-hybrid"),
+    ProcedureSpec("psi-support"),
+]
+
+
+def stream_factory(generator: ZStreamGenerator):
+    def factory(rng: np.random.Generator) -> StreamSample:
+        stream = generator.sample(rng)
+        return StreamSample(
+            p_values=stream.p_values,
+            null_mask=stream.null_mask,
+            support_fractions=stream.support_fractions,
+        )
+
+    return factory
+
+
+def main(m: int = 64, n_reps: int = 400, seed: int = 21) -> None:
+    print(f"Shootout: m={m} hypotheses per session, {n_reps} sessions per regime\n")
+    for regime, params in REGIMES.items():
+        generator = ZStreamGenerator(m=m, **params)
+        results = run_comparison(
+            PROCEDURES, stream_factory(generator), n_reps=n_reps, seed=seed
+        )
+        print(f"--- {regime} ---")
+        header = f"{'procedure':<22s} {'avg disc':>9s} {'avg FDR':>9s} {'avg power':>10s}"
+        print(header)
+        print("-" * len(header))
+        for label, summary in results.items():
+            power = (
+                f"{summary.avg_power:10.3f}"
+                if not np.isnan(summary.avg_power)
+                else "         -"
+            )
+            print(
+                f"{label:<22s} {summary.avg_discoveries:9.2f} "
+                f"{summary.avg_fdr:9.3f} {power}"
+            )
+        print()
+
+    print("Reading guide:")
+    print("  - pcer: most power, runaway FDR -> what unguarded exploration does.")
+    print("  - bonferroni: FWER control, power collapses with m.")
+    print("  - investing rules: FDR held at/below 0.05 in every regime, with")
+    print("    gamma-fixed ahead on noisy data, delta-hopeful ahead on")
+    print("    signal-rich data and epsilon-hybrid tracking the better one.")
+
+
+if __name__ == "__main__":
+    main()

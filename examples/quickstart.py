@@ -1,0 +1,76 @@
+"""Quickstart: wrap an exploration in AWARE and watch the alpha-wealth.
+
+Run with::
+
+    python examples/quickstart.py
+
+Demonstrates the three-line happy path — build a dataset, open a session,
+show panels — and what AWARE adds on top: automatic default hypotheses,
+one immutable decision per panel, and the risk gauge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exploration import Dataset, Eq, ExplorationSession, Not
+
+
+def build_toy_dataset(seed: int = 0, n: int = 4000) -> Dataset:
+    """A toy clinical dataset with one real effect and one red herring.
+
+    ``outcome`` genuinely depends on ``treatment``; ``enrollment_site`` is
+    pure noise.  A user exploring this data should discover the first and
+    be protected from "discovering" the second.
+    """
+    rng = np.random.default_rng(seed)
+    treatment = rng.choice(["drug", "placebo"], size=n)
+    # Planted effect: the drug shifts outcomes towards "improved".
+    p_improved = np.where(treatment == "drug", 0.55, 0.40)
+    outcome = np.where(rng.random(n) < p_improved, "improved", "unchanged")
+    site = rng.choice(["north", "south", "east", "west"], size=n)
+    return Dataset(
+        {"treatment": treatment, "outcome": outcome, "enrollment_site": site},
+        categorical=["treatment", "outcome", "enrollment_site"],
+        name="toy-trial",
+    )
+
+
+def main() -> None:
+    dataset = build_toy_dataset()
+    session = ExplorationSession(dataset, procedure="epsilon-hybrid", alpha=0.05)
+
+    print("=== Step 1: look at the outcome distribution (no filter) ===")
+    overview = session.show("outcome")
+    print(overview.histogram.render())
+    print(f"Hypothesis tracked? {overview.is_hypothesis}  (rule 1: descriptive)\n")
+
+    print("=== Step 2: outcome | treatment = drug (rule 2 hypothesis) ===")
+    drug = session.show("outcome", where=Eq("treatment", "drug"))
+    print(drug.histogram.render())
+    print(drug.hypothesis.describe(), "\n")
+
+    print("=== Step 3: side-by-side with the complement (rule 3 supersedes) ===")
+    compare = session.show("outcome", where=Not(Eq("treatment", "drug")))
+    print(compare.hypothesis.describe(), "\n")
+
+    print("=== Step 4: chase a red herring (site has no effect) ===")
+    for site in ("north", "south", "east", "west"):
+        result = session.show("outcome", where=Eq("enrollment_site", site))
+        verdict = "DISCOVERY" if result.hypothesis.rejected else "nothing there"
+        print(f"  outcome | site={site:<6s} -> p={result.hypothesis.p_value:.3f} "
+              f"({verdict})")
+    print()
+
+    print("=== The AWARE risk gauge ===")
+    print(session.gauge().render())
+
+    print()
+    discoveries = session.discoveries()
+    print(f"Session ends with {len(discoveries)} controlled discovery(ies):")
+    for hyp in discoveries:
+        print(f"  - {hyp.alternative_description}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Archiving a session and recovering from exhausted wealth.
+
+Run with::
+
+    python examples/session_export_and_recovery.py
+
+Two workflows the AWARE UI needs around the core controller:
+
+1. **Export** — a finished session becomes a JSON snapshot plus a Markdown
+   report (the shareable version of the Fig. 2 gauge).
+2. **Recovery (Sec. 5.8)** — a user who burned all α-wealth on dead ends
+   hits a real signal the stream can no longer reject.  The BH
+   revalidation tool shows what a batch re-analysis would say — clearly
+   labelled with the paper's caveat that the combined guarantees no
+   longer hold, so the regained finds are *leads to re-test on new data*.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.exploration import Eq, ExplorationSession
+from repro.exploration.export import (
+    load_session_records,
+    save_session,
+    session_report_markdown,
+)
+from repro.procedures.recovery import revalidate_session
+from repro.workloads.census import make_census
+
+
+def main() -> None:
+    census = make_census(20_000, seed=0)
+
+    # A deliberately unlucky session: gamma=3 affords only ~3 misses, and
+    # the user starts with attributes that have no planted relationships.
+    session = ExplorationSession(census, procedure="gamma-fixed", alpha=0.05, gamma=3.0)
+
+    print("=== A user burns wealth on dead ends ===")
+    dead_ends = [
+        ("sex", "workclass", "Private"),
+        ("sex", "race", "GroupB"),
+        ("education", "native_region", "North"),
+        ("sex", "workclass", "Government"),
+    ]
+    for target, attr, cat in dead_ends:
+        view = session.show(target, where=Eq(attr, cat))
+        hyp = view.hypothesis
+        print(f"  {hyp.alternative_description:<55s} p={hyp.p_value:.3f} "
+              f"alpha_j={hyp.decision.level:.4f} wealth->{session.wealth:.4f}")
+    print(f"\nexhausted? {session.is_exhausted}\n")
+
+    print("=== Then hits a real effect the stream cannot reject anymore ===")
+    blocked = session.show("salary_over_50k", where=Eq("education", "PhD"))
+    hyp = blocked.hypothesis
+    print(f"  {hyp.alternative_description}: p = {hyp.p_value:.2e} but "
+          f"alpha_j = {hyp.decision.level} (exhausted={hyp.decision.exhausted})\n")
+
+    print("=== Sec. 5.8 recovery: what would a batch BH re-analysis say? ===")
+    report = revalidate_session(session)
+    print(f"  BH discoveries over the stream : {report.num_bh_discoveries}")
+    print(f"  regained vs streaming decisions: {report.regained}")
+    print(f"  streaming discoveries lost     : {report.lost}")
+    print(f"  caveat: {report.caveat[:100]}...\n")
+
+    print("=== Export the evidence trail ===")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_session(session, Path(tmp) / "session.json")
+        records = load_session_records(path)
+        print(f"  wrote {path.name}: {len(records['hypotheses'])} hypotheses, "
+              f"procedure={records['procedure']}, "
+              f"exhausted={records['exhausted']}")
+    print()
+    print("=== Markdown report (first 25 lines) ===")
+    print("\n".join(session_report_markdown(session).splitlines()[:25]))
+
+
+if __name__ == "__main__":
+    main()

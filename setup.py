@@ -1,0 +1,10 @@
+"""Thin setup.py kept for environments whose setuptools/pip cannot perform
+PEP 660 editable installs offline (no `wheel` package available).
+
+`pip install -e .` with a modern toolchain uses pyproject.toml directly;
+`python setup.py develop` is the offline fallback.
+"""
+
+from setuptools import setup
+
+setup()

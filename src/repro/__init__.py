@@ -1,0 +1,33 @@
+"""repro — AWARE: controlling false discoveries during interactive data exploration.
+
+A full reproduction of Zhao, De Stefani, Zgraggen, Binnig, Upfal, Kraska:
+*Controlling False Discoveries During Interactive Data Exploration*
+(SIGMOD 2017, arXiv:1612.01040).
+
+Subpackages
+-----------
+``repro.stats``
+    Distributions, hypothesis tests, effect sizes, power, n_H1 estimates.
+``repro.procedures``
+    Static baselines (Bonferroni, BH, ...), Sequential FDR, and the paper's
+    α-investing engine with the β/γ/δ/ε/ψ investing rules.
+``repro.exploration``
+    The AWARE layer: datasets, filter predicates, visualizations, the
+    default-hypothesis heuristics, and the risk-gauge session.
+``repro.workloads``
+    Synthetic Exp.1 streams, the synthetic census standing in for the UCI
+    Adult data, and the Exp.2 user-study workflow generator.
+``repro.experiments``
+    Metrics + replicated runners reproducing every figure of Sec. 7.
+
+Quickstart
+----------
+>>> from repro.procedures import make_procedure
+>>> proc = make_procedure("gamma-fixed", alpha=0.05)
+>>> proc.test(0.001).rejected
+True
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

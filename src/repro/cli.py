@@ -1,0 +1,198 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Examples
+--------
+Reproduce Figure 3 with the paper's 1000 repetitions::
+
+    repro-aware exp1a --reps 1000
+
+Quick versions of every figure (reduced repetitions)::
+
+    repro-aware all --quick
+
+Sec. 4.1 hold-out analysis and Sec. 1 motivating arithmetic::
+
+    repro-aware holdout
+    repro-aware motivating
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-aware",
+        description=(
+            "AWARE reproduction: controlling false discoveries during "
+            "interactive data exploration (Zhao et al., SIGMOD 2017)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, default_reps: int) -> None:
+        p.add_argument("--reps", type=int, default=default_reps,
+                       help=f"repetitions per cell (default {default_reps})")
+        p.add_argument("--alpha", type=float, default=0.05,
+                       help="control level (default 0.05)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the experiment's default seed")
+        p.add_argument("--quick", action="store_true",
+                       help="cut repetitions for a fast smoke run")
+
+    add_common(sub.add_parser("exp1a", help="Figure 3: static procedures"), 1000)
+    add_common(sub.add_parser("exp1b", help="Figure 4: incremental procedures vs m"), 1000)
+    add_common(sub.add_parser("exp1c", help="Figure 5: incremental procedures vs sample size"), 1000)
+    exp2 = sub.add_parser("exp2", help="Figure 6: census user workflows")
+    add_common(exp2, 20)
+    exp2.add_argument("--rows", type=int, default=30_000, help="census rows (default 30000)")
+    exp2.add_argument("--steps", type=int, default=115, help="workflow length (default 115)")
+    exp2.add_argument("--no-randomized", action="store_true",
+                      help="skip the randomized-census panels")
+    add_common(sub.add_parser("motivating", help="Sec. 1 / 2.4 arithmetic + simulation"), 2000)
+    add_common(sub.add_parser("holdout", help="Sec. 4.1 hold-out analysis"), 2000)
+    add_common(sub.add_parser("all", help="run every artifact in sequence"), 200)
+    return parser
+
+
+def _reps(args: argparse.Namespace, quick_reps: int) -> int:
+    return quick_reps if args.quick else args.reps
+
+
+def _run_exp1a(args) -> str:
+    from repro.experiments import render_figure, run_exp1a
+
+    kwargs = {} if args.seed is None else {"seed": args.seed}
+    return render_figure(
+        run_exp1a(n_reps=_reps(args, 100), alpha=args.alpha, **kwargs)
+    )
+
+
+def _run_exp1b(args) -> str:
+    from repro.experiments import render_figure, run_exp1b
+
+    kwargs = {} if args.seed is None else {"seed": args.seed}
+    return render_figure(
+        run_exp1b(n_reps=_reps(args, 100), alpha=args.alpha, **kwargs)
+    )
+
+
+def _run_exp1c(args) -> str:
+    from repro.experiments import render_figure, run_exp1c
+
+    kwargs = {} if args.seed is None else {"seed": args.seed}
+    return render_figure(
+        run_exp1c(n_reps=_reps(args, 100), alpha=args.alpha, **kwargs)
+    )
+
+
+def _run_exp2(args) -> str:
+    from repro.experiments import render_figure, run_exp2
+
+    kwargs = {} if args.seed is None else {"seed": args.seed}
+    return render_figure(
+        run_exp2(
+            n_reps=_reps(args, 5),
+            alpha=args.alpha,
+            n_rows=args.rows,
+            n_steps=args.steps,
+            include_randomized=not args.no_randomized,
+            **kwargs,
+        )
+    )
+
+
+def _run_motivating(args) -> str:
+    from repro.experiments import (
+        expected_discoveries,
+        false_discovery_inflation,
+        simulate_motivating_example,
+    )
+
+    exp = expected_discoveries(alpha=args.alpha)
+    seed = 11 if args.seed is None else args.seed
+    sim = simulate_motivating_example(
+        alpha=args.alpha, n_reps=_reps(args, 200), seed=seed
+    )
+    lines = [
+        "Sec. 1 motivating scenario: 100 tests, 10 true effects, power 0.8",
+        f"  closed form: E[R] = {exp.expected_discoveries:.2f} "
+        f"(E[V] = {exp.expected_false_discoveries:.2f}, "
+        f"bogus fraction = {exp.bogus_fraction:.0%})",
+        f"  simulated  : avg discoveries = {sim.avg_discoveries:.2f}, "
+        f"avg FDR = {sim.avg_fdr:.2%}",
+        "",
+        "Sec. 2.4 inflation 1-(1-alpha)^k:",
+    ]
+    for k in (1, 2, 4, 10, 25):
+        lines.append(
+            f"  k = {k:>2d}: P(>=1 false discovery) = "
+            f"{false_discovery_inflation(k, args.alpha):.3f}"
+        )
+    return "\n".join(lines)
+
+
+def _run_holdout(args) -> str:
+    from repro.experiments import holdout_analysis, simulate_holdout
+
+    analysis = holdout_analysis(alpha=args.alpha)
+    seed = 7 if args.seed is None else args.seed
+    reps = _reps(args, 200)
+    power_sim = simulate_holdout(alpha=args.alpha, n_reps=reps, seed=seed)
+    null_sim = simulate_holdout(
+        alpha=args.alpha, n_reps=reps, under_null=True, seed=seed + 1
+    )
+    return "\n".join(
+        [
+            "Sec. 4.1 hold-out analysis (d = 0.25, 500/group, one-sided t):",
+            f"  closed form: power full = {analysis.power_full:.3f}, "
+            f"half = {analysis.power_half:.3f}, "
+            f"hold-out = {analysis.power_holdout:.3f}",
+            f"  closed form: Type-I single = {analysis.type1_single:.4f}, "
+            f"hold-out = {analysis.type1_holdout:.4f}, "
+            f"25-test inflation = {analysis.inflation_25_tests:.3f}",
+            f"  simulated  : power full = {power_sim['full']:.3f}, "
+            f"hold-out = {power_sim['holdout']:.3f}",
+            f"  simulated  : Type-I full = {null_sim['full']:.4f}, "
+            f"hold-out = {null_sim['holdout']:.4f}",
+        ]
+    )
+
+
+_COMMANDS = {
+    "exp1a": _run_exp1a,
+    "exp1b": _run_exp1b,
+    "exp1c": _run_exp1c,
+    "exp2": _run_exp2,
+    "motivating": _run_motivating,
+    "holdout": _run_holdout,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        for name in ("motivating", "holdout", "exp1a", "exp1b", "exp1c", "exp2"):
+            sub_args = parser.parse_args(
+                [name, "--quick"] + (["--seed", str(args.seed)] if args.seed is not None else [])
+            )
+            print(_COMMANDS[name](sub_args))
+            print()
+        return 0
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

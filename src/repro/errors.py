@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "InsufficientDataError",
+    "WealthExhaustedError",
+    "ProcedureStateError",
+    "UnknownProcedureError",
+    "SchemaError",
+    "PredicateError",
+    "SessionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter is outside its documented domain (e.g. alpha not in (0,1))."""
+
+
+class InsufficientDataError(ReproError, ValueError):
+    """A statistical routine received too few observations to be meaningful."""
+
+
+class WealthExhaustedError(ReproError):
+    """An alpha-investing procedure was asked to test with no wealth left.
+
+    The paper (Sec. 5.8) notes that when the available alpha-wealth reaches
+    zero the user should, in theory, stop exploring.  The procedure raises
+    this error rather than silently accepting every further hypothesis, so
+    the caller (e.g. the AWARE session) can surface the condition to the
+    user.  Sessions may instead be configured to record an automatic
+    acceptance; see :class:`repro.exploration.session.ExplorationSession`.
+    """
+
+
+class ProcedureStateError(ReproError, RuntimeError):
+    """A procedure was used out of protocol (e.g. finalized twice)."""
+
+
+class UnknownProcedureError(ReproError, KeyError):
+    """A registry lookup failed; the procedure name is not registered."""
+
+
+class SchemaError(ReproError, ValueError):
+    """A dataset/column operation referenced a missing or mistyped column."""
+
+
+class PredicateError(ReproError, ValueError):
+    """A filter predicate is malformed for the dataset it is applied to."""
+
+
+class SessionError(ReproError, RuntimeError):
+    """An AWARE exploration session operation violated its contract."""

@@ -1,0 +1,69 @@
+"""Experiment harness reproducing every figure of the paper's Sec. 7.
+
+Entry points, one per artifact:
+
+* :func:`run_exp1a` — Figure 3, static procedures;
+* :func:`run_exp1b` — Figure 4, incremental procedures vs m;
+* :func:`run_exp1c` — Figure 5, incremental procedures vs sample size;
+* :func:`run_exp2` — Figure 6, user workflows on (randomized) census;
+* :mod:`repro.experiments.motivating` — Sec. 1 / Sec. 2.4 arithmetic;
+* :mod:`repro.experiments.holdout` — Sec. 4.1 hold-out analysis.
+
+Render any :class:`FigureResult` with
+:func:`repro.experiments.reporting.render_figure`.
+"""
+
+from repro.experiments.exp1_incremental import (
+    DEFAULT_INCREMENTAL_PROCEDURES,
+    incremental_specs,
+    run_exp1b,
+)
+from repro.experiments.exp1_static import DEFAULT_STATIC_PROCEDURES, run_exp1a
+from repro.experiments.exp1_support import run_exp1c
+from repro.experiments.exp2_census import run_exp2
+from repro.experiments.holdout import HoldoutAnalysis, holdout_analysis, simulate_holdout
+from repro.experiments.metrics import (
+    MetricSummary,
+    RunMetrics,
+    evaluate_mask,
+    summarize_runs,
+)
+from repro.experiments.motivating import (
+    expected_discoveries,
+    false_discovery_inflation,
+    simulate_motivating_example,
+)
+from repro.experiments.reporting import (
+    FigureResult,
+    PanelCell,
+    render_figure,
+    render_panel_table,
+)
+from repro.experiments.runner import ProcedureSpec, StreamSample, run_comparison
+
+__all__ = [
+    "DEFAULT_INCREMENTAL_PROCEDURES",
+    "DEFAULT_STATIC_PROCEDURES",
+    "FigureResult",
+    "HoldoutAnalysis",
+    "MetricSummary",
+    "PanelCell",
+    "ProcedureSpec",
+    "RunMetrics",
+    "StreamSample",
+    "evaluate_mask",
+    "expected_discoveries",
+    "false_discovery_inflation",
+    "holdout_analysis",
+    "incremental_specs",
+    "render_figure",
+    "render_panel_table",
+    "run_comparison",
+    "run_exp1a",
+    "run_exp1b",
+    "run_exp1c",
+    "run_exp2",
+    "simulate_holdout",
+    "simulate_motivating_example",
+    "summarize_runs",
+]

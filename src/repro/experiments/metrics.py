@@ -1,0 +1,134 @@
+"""Evaluation metrics of Sec. 7.
+
+For every replicated run the harness counts discoveries R, false
+discoveries V and true discoveries S against ground truth, then averages
+across repetitions:
+
+* **average discoveries** — E[R];
+* **average FDR** — the mean of the per-run ratios V / max(R, 1)
+  ("the average of the ratios of the false discoveries over all
+  discoveries", with the standard V/R = 0 convention when R = 0);
+* **average power** — the mean of S / (#true alternatives), undefined
+  (``nan``) under the complete null ("the power is 0 for all procedures
+  over completely random data and thus, not shown" — we report nan so
+  tables can omit it);
+
+each with a 95 % normal confidence interval half-width.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["RunMetrics", "MetricSummary", "evaluate_mask", "summarize_runs"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Counts for one replicated run."""
+
+    discoveries: int
+    false_discoveries: int
+    true_discoveries: int
+    num_alternatives: int
+
+    @property
+    def fdr(self) -> float:
+        """V / R with the FDR convention 0/0 = 0."""
+        if self.discoveries == 0:
+            return 0.0
+        return self.false_discoveries / self.discoveries
+
+    @property
+    def power(self) -> float:
+        """S / #alternatives; ``nan`` when there is nothing to discover."""
+        if self.num_alternatives == 0:
+            return math.nan
+        return self.true_discoveries / self.num_alternatives
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Across-replication summary of one (procedure, configuration) cell."""
+
+    n_runs: int
+    avg_discoveries: float
+    ci_discoveries: float
+    avg_fdr: float
+    ci_fdr: float
+    avg_power: float
+    ci_power: float
+
+    def format_cell(self, metric: str, digits: int = 3) -> str:
+        """Render ``mean±ci`` for one of ``discoveries``/``fdr``/``power``."""
+        mean, ci = {
+            "discoveries": (self.avg_discoveries, self.ci_discoveries),
+            "fdr": (self.avg_fdr, self.ci_fdr),
+            "power": (self.avg_power, self.ci_power),
+        }[metric]
+        if math.isnan(mean):
+            return "-"
+        return f"{mean:.{digits}f}±{ci:.{digits}f}"
+
+
+def evaluate_mask(
+    rejected_mask: Sequence[bool],
+    null_mask: Sequence[bool],
+) -> RunMetrics:
+    """Score one run's rejection mask against its truth labels."""
+    rejected = np.asarray(rejected_mask, dtype=bool)
+    nulls = np.asarray(null_mask, dtype=bool)
+    if rejected.shape != nulls.shape:
+        raise InvalidParameterError(
+            f"mask shapes differ: {rejected.shape} vs {nulls.shape}"
+        )
+    discoveries = int(rejected.sum())
+    false_discoveries = int((rejected & nulls).sum())
+    return RunMetrics(
+        discoveries=discoveries,
+        false_discoveries=false_discoveries,
+        true_discoveries=discoveries - false_discoveries,
+        num_alternatives=int((~nulls).sum()),
+    )
+
+
+def _mean_ci(values: np.ndarray) -> tuple[float, float]:
+    if values.size == 0:
+        return math.nan, math.nan
+    mean = float(values.mean())
+    if values.size == 1:
+        return mean, math.nan
+    half_width = 1.96 * float(values.std(ddof=1)) / math.sqrt(values.size)
+    return mean, half_width
+
+
+def summarize_runs(runs: Sequence[RunMetrics]) -> MetricSummary:
+    """Aggregate per-run metrics into means and 95 % CIs.
+
+    Power is averaged only over runs that had at least one true
+    alternative; if none did (the complete null), the summary's power is
+    ``nan``.
+    """
+    if not runs:
+        raise InvalidParameterError("cannot summarize an empty run list")
+    discoveries = np.array([r.discoveries for r in runs], dtype=float)
+    fdrs = np.array([r.fdr for r in runs], dtype=float)
+    powers = np.array([r.power for r in runs if r.num_alternatives > 0], dtype=float)
+    avg_d, ci_d = _mean_ci(discoveries)
+    avg_f, ci_f = _mean_ci(fdrs)
+    avg_p, ci_p = _mean_ci(powers)
+    return MetricSummary(
+        n_runs=len(runs),
+        avg_discoveries=avg_d,
+        ci_discoveries=ci_d,
+        avg_fdr=avg_f,
+        ci_fdr=ci_f,
+        avg_power=avg_p,
+        ci_power=ci_p,
+    )

@@ -1,0 +1,128 @@
+"""Result structures and paper-style text tables.
+
+A figure in Sec. 7 is a grid of panels (e.g. "75% Null: Avg. FDR"); each
+panel plots one metric against an x-axis (number of hypotheses or sample
+size) with one series per procedure.  :class:`FigureResult` holds that
+grid as flat cells; the render functions emit aligned text tables, one row
+per x value and one column per procedure — the same information as the
+paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import InvalidParameterError
+from repro.experiments.metrics import MetricSummary
+
+__all__ = ["PanelCell", "FigureResult", "render_panel_table", "render_figure"]
+
+_METRICS = ("discoveries", "fdr", "power")
+
+
+@dataclass(frozen=True)
+class PanelCell:
+    """One (panel, x, procedure) measurement."""
+
+    panel: str
+    x: float
+    procedure: str
+    summary: MetricSummary
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """All measurements reproducing one paper figure."""
+
+    figure: str
+    x_label: str
+    cells: tuple[PanelCell, ...]
+
+    def panels(self) -> list[str]:
+        """Panel names in first-appearance order."""
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.panel not in seen:
+                seen.append(cell.panel)
+        return seen
+
+    def procedures(self) -> list[str]:
+        """Series labels in first-appearance order."""
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.procedure not in seen:
+                seen.append(cell.procedure)
+        return seen
+
+    def xs(self, panel: str) -> list[float]:
+        """The x-axis values of one panel, sorted."""
+        return sorted({c.x for c in self.cells if c.panel == panel})
+
+    def get(self, panel: str, x: float, procedure: str) -> MetricSummary:
+        """Lookup one cell."""
+        for cell in self.cells:
+            if cell.panel == panel and cell.x == x and cell.procedure == procedure:
+                return cell.summary
+        raise InvalidParameterError(
+            f"no cell for panel={panel!r}, x={x!r}, procedure={procedure!r}"
+        )
+
+
+def _format_x(x: float) -> str:
+    if float(x).is_integer() and abs(x) >= 1:
+        return str(int(x))
+    return f"{x:.0%}" if 0 < x < 1 else f"{x:g}"
+
+
+def render_panel_table(
+    result: FigureResult,
+    panel: str,
+    metric: str,
+    digits: int = 3,
+) -> str:
+    """One panel as an aligned text table (rows = x, columns = procedures)."""
+    if metric not in _METRICS:
+        raise InvalidParameterError(f"metric must be one of {_METRICS}, got {metric!r}")
+    procedures = result.procedures()
+    xs = result.xs(panel)
+    header = [result.x_label] + procedures
+    rows = [header]
+    for x in xs:
+        row = [_format_x(x)]
+        for proc in procedures:
+            row.append(result.get(panel, x, proc).format_cell(metric, digits))
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [f"-- {panel}: Avg. {metric.capitalize()} --"]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_figure(
+    result: FigureResult,
+    metrics: Sequence[str] = _METRICS,
+    digits: int = 3,
+) -> str:
+    """Every panel × metric table of a figure, ready to print."""
+    sections = [f"== {result.figure} =="]
+    for panel in result.panels():
+        for metric in metrics:
+            # Skip all-nan power panels (the complete-null case the paper
+            # omits from its plots too).
+            xs = result.xs(panel)
+            if metric == "power":
+                import math
+
+                values = [
+                    result.get(panel, x, p).avg_power
+                    for x in xs
+                    for p in result.procedures()
+                ]
+                if all(math.isnan(v) for v in values):
+                    continue
+            sections.append(render_panel_table(result, panel, metric, digits))
+    return "\n\n".join(sections)

@@ -1,0 +1,242 @@
+"""In-memory columnar dataset — the substrate AWARE explores.
+
+A tiny column store: categorical columns hold label arrays with a fixed
+category universe (so filtered histograms stay aligned with unfiltered
+ones), numeric columns hold float arrays.  Filtering is mask-based and
+cheap; down-sampling (Exp. 2's 10–90 % sweeps) and per-attribute binning
+live here too.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, SchemaError
+from repro.rng import SeedLike, as_generator
+
+__all__ = ["ColumnType", "Column", "Dataset"]
+
+
+class ColumnType(enum.Enum):
+    """Storage/semantics class of a column."""
+
+    CATEGORICAL = "categorical"
+    NUMERIC = "numeric"
+
+
+@dataclass(frozen=True)
+class Column:
+    """One named, typed column.
+
+    Categorical columns carry their full category universe — the sorted
+    unique labels of the *original* data — so that histograms of filtered
+    sub-populations keep empty categories instead of silently dropping
+    them (a chi-square test needs aligned cells).
+    """
+
+    name: str
+    ctype: ColumnType
+    values: np.ndarray
+    categories: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.ctype is ColumnType.CATEGORICAL and not self.categories:
+            raise SchemaError(f"categorical column {self.name!r} needs categories")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class Dataset:
+    """A named collection of equal-length columns with filter/sample support.
+
+    Parameters
+    ----------
+    columns:
+        Mapping from column name to a sequence of values.
+    categorical:
+        Names of columns to treat as categorical.  Anything not listed is
+        numeric and must be castable to float.  Boolean and string columns
+        are auto-detected as categorical when this is ``None``.
+    name:
+        Display name used by visualizations and the gauge.
+    category_universe:
+        Optional per-column category tuples.  Filtered/sampled datasets
+        pass the parent's universe down so category sets never shrink.
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, Sequence],
+        categorical: Iterable[str] | None = None,
+        name: str = "dataset",
+        category_universe: Mapping[str, tuple] | None = None,
+    ) -> None:
+        if not columns:
+            raise SchemaError("a dataset needs at least one column")
+        self.name = name
+        self._columns: dict[str, Column] = {}
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) != 1:
+            raise SchemaError(f"columns have mismatched lengths: {sorted(lengths)}")
+        self._n_rows = lengths.pop()
+        universe = dict(category_universe or {})
+        explicit = set(categorical) if categorical is not None else None
+        for col_name, raw in columns.items():
+            arr = np.asarray(raw)
+            is_cat = self._infer_categorical(col_name, arr, explicit)
+            if is_cat:
+                cats = universe.get(col_name)
+                if cats is None:
+                    cats = tuple(sorted(set(arr.tolist()), key=str))
+                else:
+                    unknown = set(arr.tolist()) - set(cats)
+                    if unknown:
+                        raise SchemaError(
+                            f"column {col_name!r} has values outside its declared "
+                            f"universe: {sorted(map(str, unknown))}"
+                        )
+                self._columns[col_name] = Column(
+                    col_name, ColumnType.CATEGORICAL, arr, tuple(cats)
+                )
+            else:
+                try:
+                    values = arr.astype(float)
+                except (TypeError, ValueError) as exc:
+                    raise SchemaError(
+                        f"column {col_name!r} is not castable to float; declare it "
+                        "categorical"
+                    ) from exc
+                self._columns[col_name] = Column(col_name, ColumnType.NUMERIC, values)
+
+    @staticmethod
+    def _infer_categorical(name: str, arr: np.ndarray, explicit: set[str] | None) -> bool:
+        if explicit is not None:
+            return name in explicit
+        return arr.dtype.kind in ("U", "S", "O", "b")
+
+    # -- basic introspection -------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """All column names, in insertion order."""
+        return tuple(self._columns)
+
+    def column(self, name: str) -> Column:
+        """Fetch a column by name, raising :class:`SchemaError` if absent."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; available: {list(self._columns)}"
+            ) from None
+
+    def is_categorical(self, name: str) -> bool:
+        """True when *name* is a categorical column."""
+        return self.column(name).ctype is ColumnType.CATEGORICAL
+
+    def categories(self, name: str) -> tuple:
+        """Category universe of a categorical column."""
+        col = self.column(name)
+        if col.ctype is not ColumnType.CATEGORICAL:
+            raise SchemaError(f"column {name!r} is numeric, not categorical")
+        return col.categories
+
+    def values(self, name: str, mask: np.ndarray | None = None) -> np.ndarray:
+        """Raw values of a column, optionally restricted by a boolean mask."""
+        col = self.column(name)
+        if mask is None:
+            return col.values
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._n_rows,):
+            raise InvalidParameterError("mask length must equal the row count")
+        return col.values[mask]
+
+    # -- derivation ----------------------------------------------------------
+
+    def _universe(self) -> dict[str, tuple]:
+        return {
+            c.name: c.categories
+            for c in self._columns.values()
+            if c.ctype is ColumnType.CATEGORICAL
+        }
+
+    def select(self, mask: np.ndarray, name: str | None = None) -> "Dataset":
+        """New dataset containing only the rows where *mask* is True.
+
+        Categorical universes are inherited from this dataset so histograms
+        stay aligned.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._n_rows,):
+            raise InvalidParameterError("mask length must equal the row count")
+        return Dataset(
+            {c.name: c.values[mask] for c in self._columns.values()},
+            categorical=[n for n in self._columns if self.is_categorical(n)],
+            name=name or f"{self.name}[filtered]",
+            category_universe=self._universe(),
+        )
+
+    def sample_fraction(self, fraction: float, seed: SeedLike = None) -> "Dataset":
+        """Uniform row sample without replacement (Exp. 2 down-sampling)."""
+        if not 0.0 < fraction <= 1.0:
+            raise InvalidParameterError(f"fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0:
+            return self
+        rng = as_generator(seed)
+        k = max(1, int(round(self._n_rows * fraction)))
+        idx = rng.choice(self._n_rows, size=k, replace=False)
+        mask = np.zeros(self._n_rows, dtype=bool)
+        mask[idx] = True
+        return self.select(mask, name=f"{self.name}[{fraction:.0%}]")
+
+    def permute_columns(self, seed: SeedLike = None) -> "Dataset":
+        """Independently shuffle every column — the "randomized Census".
+
+        Marginal distributions are preserved exactly while every
+        inter-column dependency is destroyed, so *all* null hypotheses
+        about relationships become true (Exp. 2, Fig. 6 d–e).
+        """
+        rng = as_generator(seed)
+        shuffled = {
+            c.name: c.values[rng.permutation(self._n_rows)]
+            for c in self._columns.values()
+        }
+        return Dataset(
+            shuffled,
+            categorical=[n for n in self._columns if self.is_categorical(n)],
+            name=f"{self.name}[randomized]",
+            category_universe=self._universe(),
+        )
+
+    def numeric_bin_edges(self, name: str, bins: int = 10) -> np.ndarray:
+        """Equal-width bin edges over this dataset's range for column *name*.
+
+        Sessions compute edges once on the *full* dataset and reuse them for
+        filtered views, keeping binned histograms comparable.
+        """
+        col = self.column(name)
+        if col.ctype is not ColumnType.NUMERIC:
+            raise SchemaError(f"column {name!r} is categorical; no bin edges")
+        if bins < 2:
+            raise InvalidParameterError(f"bins must be >= 2, got {bins}")
+        lo = float(np.min(col.values))
+        hi = float(np.max(col.values))
+        if lo == hi:
+            hi = lo + 1.0
+        return np.linspace(lo, hi, bins + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dataset(name={self.name!r}, rows={self._n_rows}, cols={list(self._columns)})"

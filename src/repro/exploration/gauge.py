@@ -1,0 +1,127 @@
+"""The AWARE risk gauge (Fig. 2).
+
+A :class:`RiskGauge` is an immutable snapshot of a session: the control
+level α, remaining α-wealth, and one :class:`GaugeEntry` per tracked
+hypothesis with the color-coded decision, effect size and the n_H1
+"squares".  ``render()`` produces the textual equivalent of the tablet
+panel for the example scripts and the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exploration.hypotheses import HypothesisStatus, TrackedHypothesis
+
+__all__ = ["GaugeEntry", "RiskGauge"]
+
+_MAX_SQUARES = 12
+
+
+@dataclass(frozen=True)
+class GaugeEntry:
+    """One scrollable list item of the gauge."""
+
+    hypothesis_id: int
+    null_description: str
+    alternative_description: str
+    test_name: str
+    p_value: float
+    level: float
+    rejected: bool
+    status: str
+    starred: bool
+    effect_size: float | None
+    effect_name: str | None
+    effect_magnitude: str | None
+    data_to_flip: float
+    support: int
+
+    @classmethod
+    def from_hypothesis(cls, hyp: TrackedHypothesis) -> "GaugeEntry":
+        magnitude = hyp.effect_magnitude
+        return cls(
+            hypothesis_id=hyp.hypothesis_id,
+            null_description=hyp.null_description,
+            alternative_description=hyp.alternative_description,
+            test_name=hyp.result.name,
+            p_value=hyp.p_value,
+            level=hyp.decision.level,
+            rejected=hyp.rejected,
+            status=hyp.status.value,
+            starred=hyp.starred,
+            effect_size=hyp.result.effect_size,
+            effect_name=hyp.result.effect_name,
+            effect_magnitude=magnitude.value if magnitude is not None else None,
+            data_to_flip=hyp.data_to_flip(),
+            support=hyp.result.n_obs,
+        )
+
+    def squares(self) -> str:
+        """The Fig. 2 B/C encoding: one square per multiple of current data."""
+        if math.isnan(self.data_to_flip):
+            return "?"
+        if math.isinf(self.data_to_flip):
+            return "inf"
+        n = min(_MAX_SQUARES, max(0, math.ceil(self.data_to_flip)))
+        glyph = "▪" if self.rejected else "▫"
+        overflow = "+" if self.data_to_flip > _MAX_SQUARES else ""
+        return glyph * n + overflow
+
+    def render(self) -> str:
+        color = "green" if self.rejected else "red"
+        star = "★ " if self.starred else "  "
+        status = "" if self.status == "active" else f" [{self.status}]"
+        effect = (
+            f"{self.effect_name}={self.effect_size:.3f} ({self.effect_magnitude})"
+            if self.effect_size is not None
+            else "effect=n/a"
+        )
+        return (
+            f"{star}H1: {self.alternative_description}{status}\n"
+            f"    H0: {self.null_description}\n"
+            f"    {self.test_name}: p={self.p_value:.4g} vs alpha_j={self.level:.4g} "
+            f"-> {color} ({'rejected H0' if self.rejected else 'accepted H0'})\n"
+            f"    {effect}; n={self.support}; flip needs {self.squares()} "
+            f"({self.data_to_flip:.1f}x data)"
+        )
+
+
+@dataclass(frozen=True)
+class RiskGauge:
+    """Snapshot of the session's risk state (the Fig. 2 side panel)."""
+
+    alpha: float
+    wealth: float
+    initial_wealth: float
+    procedure_name: str
+    num_tested: int
+    num_discoveries: int
+    exhausted: bool
+    entries: tuple[GaugeEntry, ...]
+
+    @property
+    def wealth_fraction(self) -> float:
+        """Remaining wealth as a fraction of W(0) — the gauge dial."""
+        if self.initial_wealth <= 0:
+            return 0.0
+        return max(0.0, min(1.0, self.wealth / self.initial_wealth))
+
+    def render(self) -> str:
+        """Textual rendering of the whole panel."""
+        dial_width = 20
+        filled = int(round(self.wealth_fraction * dial_width))
+        dial = "[" + "=" * filled + " " * (dial_width - filled) + "]"
+        lines = [
+            f"AWARE risk gauge — procedure: {self.procedure_name}",
+            f"  mFDR budget alpha = {self.alpha:.3g}",
+            f"  alpha-wealth {dial} {self.wealth:.4f} / {self.initial_wealth:.4f}",
+            f"  hypotheses tested: {self.num_tested}, discoveries: {self.num_discoveries}",
+        ]
+        if self.exhausted:
+            lines.append("  !! wealth exhausted — no further discovery is possible")
+        for entry in self.entries:
+            lines.append("")
+            lines.append(entry.render())
+        return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Histogram computation for visualizations.
+
+AWARE treats histograms as the canonical visualization (Sec. 2.3).  Two
+properties matter for correctness of the derived hypothesis tests:
+
+* filtered and unfiltered histograms of the same attribute must share one
+  category/bin universe (aligned chi-square cells), and
+* numeric attributes are binned with edges computed once on the *full*
+  dataset, so a filter cannot shift the binning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InsufficientDataError, InvalidParameterError
+from repro.exploration.dataset import ColumnType, Dataset
+from repro.exploration.predicate import Predicate, TRUE
+
+__all__ = ["Histogram", "categorical_histogram", "numeric_histogram", "histogram_for"]
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Counts of an attribute over a (possibly filtered) population.
+
+    ``labels`` are category values for categorical attributes or
+    human-readable bin labels for numeric ones; ``counts`` aligns with
+    ``labels``; ``support`` is the number of rows that passed the filter
+    (== ``counts.sum()``).
+    """
+
+    attribute: str
+    labels: tuple
+    counts: tuple
+    filter_description: str = "*"
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.counts):
+            raise InvalidParameterError("labels and counts must align")
+
+    @property
+    def support(self) -> int:
+        """Number of rows contributing to this histogram."""
+        return int(sum(self.counts))
+
+    def proportions(self) -> np.ndarray:
+        """Counts normalized to a probability vector."""
+        total = self.support
+        if total == 0:
+            raise InsufficientDataError(
+                f"histogram of {self.attribute!r} under {self.filter_description!r} "
+                "is empty"
+            )
+        return np.asarray(self.counts, dtype=float) / total
+
+    def as_dict(self) -> dict:
+        """Label -> count mapping (insertion-ordered)."""
+        return dict(zip(self.labels, self.counts))
+
+    def render(self, width: int = 40) -> str:
+        """ASCII bar rendering, used by the example scripts."""
+        total = max(self.support, 1)
+        peak = max(max(self.counts), 1)
+        lines = [f"{self.attribute}  |  where {self.filter_description}  (n={total})"]
+        for label, count in zip(self.labels, self.counts):
+            bar = "#" * int(round(width * count / peak))
+            lines.append(f"  {str(label):>12s} | {bar} {count}")
+        return "\n".join(lines)
+
+
+def categorical_histogram(
+    dataset: Dataset,
+    attribute: str,
+    predicate: Predicate = TRUE,
+) -> Histogram:
+    """Histogram of a categorical attribute under *predicate*.
+
+    The label universe is the dataset's full category set, so empty
+    categories appear with count 0.
+    """
+    col = dataset.column(attribute)
+    if col.ctype is not ColumnType.CATEGORICAL:
+        raise InvalidParameterError(
+            f"{attribute!r} is numeric; use numeric_histogram with bin edges"
+        )
+    mask = predicate.mask(dataset)
+    values = col.values[mask]
+    categories = col.categories
+    index = {c: i for i, c in enumerate(categories)}
+    counts = np.zeros(len(categories), dtype=int)
+    for v, n in zip(*np.unique(values, return_counts=True)):
+        counts[index[v]] = int(n)
+    return Histogram(
+        attribute=attribute,
+        labels=tuple(categories),
+        counts=tuple(int(c) for c in counts),
+        filter_description=predicate.describe(),
+    )
+
+
+def numeric_histogram(
+    dataset: Dataset,
+    attribute: str,
+    bin_edges: np.ndarray,
+    predicate: Predicate = TRUE,
+) -> Histogram:
+    """Histogram of a numeric attribute using pre-computed *bin_edges*.
+
+    Callers obtain edges from ``Dataset.numeric_bin_edges`` on the full
+    dataset, then reuse them for every filtered view of the attribute.
+    """
+    col = dataset.column(attribute)
+    if col.ctype is not ColumnType.NUMERIC:
+        raise InvalidParameterError(f"{attribute!r} is categorical; no bin edges apply")
+    edges = np.asarray(bin_edges, dtype=float)
+    if edges.ndim != 1 or edges.size < 3:
+        raise InvalidParameterError("need at least 2 bins (3 edges)")
+    mask = predicate.mask(dataset)
+    values = col.values[mask]
+    counts, _ = np.histogram(values, bins=edges)
+    labels = tuple(
+        f"[{edges[i]:g}, {edges[i + 1]:g})" for i in range(edges.size - 1)
+    )
+    return Histogram(
+        attribute=attribute,
+        labels=labels,
+        counts=tuple(int(c) for c in counts),
+        filter_description=predicate.describe(),
+    )
+
+
+def histogram_for(
+    dataset: Dataset,
+    attribute: str,
+    predicate: Predicate = TRUE,
+    bin_edges: np.ndarray | None = None,
+    bins: int = 10,
+) -> Histogram:
+    """Dispatch to the right histogram kind for *attribute*.
+
+    Numeric attributes use *bin_edges* when provided, otherwise edges
+    computed on *dataset* (which should then be the full dataset).
+    """
+    if dataset.is_categorical(attribute):
+        return categorical_histogram(dataset, attribute, predicate)
+    if bin_edges is None:
+        bin_edges = dataset.numeric_bin_edges(attribute, bins=bins)
+    return numeric_histogram(dataset, attribute, bin_edges, predicate)

@@ -1,0 +1,127 @@
+"""Tracked hypotheses: the records behind the AWARE gauge list.
+
+Each entry in the Fig. 2 gauge corresponds to one :class:`TrackedHypothesis`:
+the null/alternative labels, the executed test, the (immutable unless the
+user revises history) decision, effect size, and the n_H1 "squares" — how
+much more data would flip the decision.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.procedures.base import Decision
+from repro.stats.effect_size import EffectMagnitude, classify_cohen_d, classify_cohen_w
+from repro.stats.power import extra_data_to_accept, extra_data_to_reject
+from repro.stats.tests import TestResult
+
+__all__ = ["HypothesisStatus", "TrackedHypothesis"]
+
+
+class HypothesisStatus(enum.Enum):
+    """Lifecycle of a tracked hypothesis."""
+
+    #: Counted in the stream; its decision stands.
+    ACTIVE = "active"
+    #: Replaced by a rule-3 (or user) hypothesis; removed from the stream.
+    SUPERSEDED = "superseded"
+    #: User deleted it ("that one was just descriptive"); removed.
+    DELETED = "deleted"
+
+
+@dataclass(frozen=True)
+class TrackedHypothesis:
+    """One hypothesis as AWARE tracks it.
+
+    Attributes
+    ----------
+    hypothesis_id:
+        Stable identifier; survives revisions of the stream.
+    kind:
+        Provenance: ``"rule2-distribution-shift"``, ``"rule3-two-sample"``,
+        ``"explicit"`` (user-initiated test) or ``"override"``.
+    result:
+        The statistical test outcome.
+    decision:
+        The procedure's accept/reject verdict (level = the alpha_j granted).
+    support_fraction:
+        |support| / |full dataset|, fed to the ψ-support rule.
+    status / starred / superseded_by:
+        Gauge bookkeeping; ``starred`` marks "important discoveries"
+        (Sec. 6 / Theorem 1).
+    """
+
+    hypothesis_id: int
+    kind: str
+    null_description: str
+    alternative_description: str
+    result: TestResult
+    # None only transiently while a stream replay is assigning decisions.
+    decision: Decision | None
+    support_fraction: float
+    status: HypothesisStatus = HypothesisStatus.ACTIVE
+    starred: bool = False
+    superseded_by: int | None = None
+
+    @property
+    def rejected(self) -> bool:
+        """True when the null was rejected — this is a discovery."""
+        return self.decision.rejected
+
+    @property
+    def p_value(self) -> float:
+        """The tested p-value."""
+        return self.result.p_value
+
+    @property
+    def effect_magnitude(self) -> EffectMagnitude | None:
+        """Cohen magnitude band for the gauge's color coding."""
+        if self.result.effect_size is None:
+            return None
+        if self.result.effect_name in ("cohen-d", "cohen-h", "z-per-sqrt-n"):
+            return classify_cohen_d(self.result.effect_size)
+        return classify_cohen_w(self.result.effect_size)
+
+    def data_to_flip(self) -> float:
+        """The n_H1 estimate (Sec. 3): extra data, in multiples of the
+        current support, that would flip this decision.
+
+        Rejected hypotheses report how much *null-distributed* data would
+        undo the rejection (Fig. 2 B); accepted ones report how much data
+        following the observed distribution would make them significant
+        (Fig. 2 C).  Returns ``inf`` when no amount of data suffices and
+        ``nan`` when the test family does not extrapolate (permutation).
+        """
+        level = self.decision.level
+        if not 0.0 < level < 1.0:
+            return math.nan
+        try:
+            if self.decision.rejected:
+                return extra_data_to_accept(self.result, level)
+            return extra_data_to_reject(self.result, level)
+        except Exception:
+            return math.nan
+
+    def with_status(
+        self, status: HypothesisStatus, superseded_by: int | None = None
+    ) -> "TrackedHypothesis":
+        """Copy with a new lifecycle status."""
+        return replace(self, status=status, superseded_by=superseded_by)
+
+    def with_decision(self, decision: Decision) -> "TrackedHypothesis":
+        """Copy with a revised decision (only used during stream replays)."""
+        return replace(self, decision=decision)
+
+    def with_star(self, starred: bool) -> "TrackedHypothesis":
+        """Copy with the bookmark flag set/cleared."""
+        return replace(self, starred=starred)
+
+    def describe(self) -> str:
+        """One-line gauge label."""
+        verdict = "REJECTED H0" if self.rejected else "accepted H0"
+        return (
+            f"[{self.hypothesis_id}] {self.alternative_description} "
+            f"(p={self.p_value:.4f}, alpha_j={self.decision.level:.4f}, {verdict})"
+        )

@@ -1,0 +1,275 @@
+"""Filter-predicate algebra for visualizations.
+
+Every AWARE visualization is "an attribute plus a chain of filters"
+(Sec. 2); the filters form a tiny boolean algebra over dataset columns.
+Predicates are immutable, hashable, render to readable strings (for the
+gauge's hypothesis labels) and support *structural negation* — the
+dashed-line "inverted selection" of Fig. 1 — with complement detection,
+which is what triggers the rule-3 default hypothesis.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.errors import PredicateError
+from repro.exploration.dataset import ColumnType, Dataset
+
+__all__ = ["Predicate", "TRUE", "Eq", "In", "Range", "Not", "And", "Or", "true_predicate"]
+
+
+class Predicate(abc.ABC):
+    """Immutable boolean filter over dataset rows."""
+
+    @abc.abstractmethod
+    def mask(self, dataset: Dataset) -> np.ndarray:
+        """Boolean row mask of the rows satisfying this predicate."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable rendering used in gauge labels."""
+
+    @abc.abstractmethod
+    def columns(self) -> FrozenSet[str]:
+        """Names of all columns this predicate references."""
+
+    def normalize(self) -> "Predicate":
+        """Canonical form: double negations removed, nested And/Or flattened."""
+        return self
+
+    def is_trivial(self) -> bool:
+        """True only for the match-everything predicate."""
+        return False
+
+    def is_complement_of(self, other: "Predicate") -> bool:
+        """Structural complement check: does ``self == NOT other``?
+
+        This is the test rule 3 of the heuristics uses to detect the
+        "same filters but negated" visualization pair.  It is structural —
+        semantically complementary but structurally different predicates
+        (e.g. ``Range(x, 0, 1)`` vs ``Or(Range(x, -inf, 0), ...)``) are not
+        detected, mirroring how a UI only knows about explicit inversions.
+        """
+        a = self.normalize()
+        b = other.normalize()
+        return Not(b).normalize() == a or Not(a).normalize() == b
+
+    # Operator sugar so call sites read like boolean logic.
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other)).normalize()
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other)).normalize()
+
+    def __invert__(self) -> "Predicate":
+        return Not(self).normalize()
+
+
+@dataclass(frozen=True)
+class _True(Predicate):
+    """Matches every row: the 'no filter' of rule 1."""
+
+    def mask(self, dataset: Dataset) -> np.ndarray:
+        return np.ones(dataset.n_rows, dtype=bool)
+
+    def describe(self) -> str:
+        return "*"
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def is_trivial(self) -> bool:
+        return True
+
+
+TRUE = _True()
+
+
+def true_predicate() -> Predicate:
+    """The match-everything predicate (rule-1 'no filter')."""
+    return TRUE
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``column == value`` over a categorical column."""
+
+    column: str
+    value: object
+
+    def mask(self, dataset: Dataset) -> np.ndarray:
+        col = dataset.column(self.column)
+        if col.ctype is ColumnType.CATEGORICAL and self.value not in col.categories:
+            raise PredicateError(
+                f"{self.value!r} is not a category of column {self.column!r}"
+            )
+        return np.asarray(col.values == self.value)
+
+    def describe(self) -> str:
+        return f"{self.column} = {self.value}"
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.column})
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """``column ∈ values`` over a categorical column."""
+
+    column: str
+    values: tuple
+
+    def __init__(self, column: str, values) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(sorted(set(values), key=str)))
+
+    def mask(self, dataset: Dataset) -> np.ndarray:
+        col = dataset.column(self.column)
+        if col.ctype is ColumnType.CATEGORICAL:
+            unknown = set(self.values) - set(col.categories)
+            if unknown:
+                raise PredicateError(
+                    f"values {sorted(map(str, unknown))} are not categories of "
+                    f"column {self.column!r}"
+                )
+        return np.isin(col.values, np.asarray(self.values, dtype=col.values.dtype))
+
+    def describe(self) -> str:
+        rendered = ", ".join(str(v) for v in self.values)
+        return f"{self.column} in {{{rendered}}}"
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.column})
+
+
+@dataclass(frozen=True)
+class Range(Predicate):
+    """``lo <= column < hi`` over a numeric column (half-open, like bins)."""
+
+    column: str
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not self.lo < self.hi:
+            raise PredicateError(f"empty range [{self.lo}, {self.hi})")
+
+    def mask(self, dataset: Dataset) -> np.ndarray:
+        col = dataset.column(self.column)
+        if col.ctype is not ColumnType.NUMERIC:
+            raise PredicateError(f"Range needs a numeric column, {self.column!r} is not")
+        return (col.values >= self.lo) & (col.values < self.hi)
+
+    def describe(self) -> str:
+        return f"{self.lo:g} <= {self.column} < {self.hi:g}"
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.column})
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Logical negation — the dashed 'inverted selection' of Fig. 1."""
+
+    operand: Predicate
+
+    def mask(self, dataset: Dataset) -> np.ndarray:
+        return ~self.operand.mask(dataset)
+
+    def describe(self) -> str:
+        return f"not ({self.operand.describe()})"
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+    def normalize(self) -> Predicate:
+        inner = self.operand.normalize()
+        if isinstance(inner, Not):
+            return inner.operand.normalize()
+        return Not(inner)
+
+
+def _flatten(cls, operands) -> tuple:
+    flat: list[Predicate] = []
+    for op in operands:
+        norm = op.normalize()
+        if isinstance(norm, cls):
+            flat.extend(norm.operands)
+        elif not norm.is_trivial() or cls is Or:
+            flat.append(norm)
+    # Deterministic order makes And/Or equality structural, not positional.
+    return tuple(sorted(set(flat), key=lambda p: p.describe()))
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of filters — a visualization chain's accumulated filter."""
+
+    operands: tuple
+
+    def __init__(self, operands) -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def mask(self, dataset: Dataset) -> np.ndarray:
+        result = np.ones(dataset.n_rows, dtype=bool)
+        for op in self.operands:
+            result &= op.mask(dataset)
+        return result
+
+    def describe(self) -> str:
+        if not self.operands:
+            return "*"
+        return " and ".join(f"({op.describe()})" for op in self.operands)
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset().union(*(op.columns() for op in self.operands)) if self.operands else frozenset()
+
+    def normalize(self) -> Predicate:
+        flat = _flatten(And, self.operands)
+        if not flat:
+            return TRUE
+        if len(flat) == 1:
+            return flat[0]
+        return And(flat)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of filters (multi-select in a histogram)."""
+
+    operands: tuple
+
+    def __init__(self, operands) -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def mask(self, dataset: Dataset) -> np.ndarray:
+        result = np.zeros(dataset.n_rows, dtype=bool)
+        for op in self.operands:
+            result |= op.mask(dataset)
+        return result
+
+    def describe(self) -> str:
+        if not self.operands:
+            return "false"
+        return " or ".join(f"({op.describe()})" for op in self.operands)
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset().union(*(op.columns() for op in self.operands)) if self.operands else frozenset()
+
+    def normalize(self) -> Predicate:
+        flat = []
+        for op in self.operands:
+            norm = op.normalize()
+            if norm.is_trivial():
+                return TRUE
+            flat.append(norm)
+        flat = _flatten(Or, flat)
+        if not flat:
+            return Or(())
+        if len(flat) == 1:
+            return flat[0]
+        return Or(flat)

@@ -1,0 +1,103 @@
+"""Visualization specifications and chains.
+
+A visualization in AWARE is "an attribute shown as a histogram, under the
+conjunction of the filters along its chain" (Sec. 2).  The spec is pure
+data — rendering is out of scope (see DESIGN.md substitutions) — but it
+knows how to compute its histogram and how to recognize the structural
+relationships the heuristics care about: *filtered vs unfiltered* (rule 2)
+and *same attribute under complementary filters* (rule 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exploration.dataset import Dataset
+from repro.exploration.histogram import Histogram, histogram_for
+from repro.exploration.predicate import Predicate, TRUE
+
+__all__ = ["Visualization", "chain"]
+
+
+@dataclass(frozen=True)
+class Visualization:
+    """One histogram panel: a target attribute plus its accumulated filter.
+
+    Attributes
+    ----------
+    attribute:
+        Column whose distribution is displayed.
+    predicate:
+        Conjunction of every selection upstream in the chain; ``TRUE``
+        means the panel shows the whole dataset (rule 1).
+    bins:
+        Bin count for numeric attributes (ignored for categorical ones).
+    """
+
+    attribute: str
+    predicate: Predicate = field(default=TRUE)
+    bins: int = 10
+
+    def normalized(self) -> "Visualization":
+        """Same visualization with the predicate in canonical form."""
+        return Visualization(self.attribute, self.predicate.normalize(), self.bins)
+
+    @property
+    def is_filtered(self) -> bool:
+        """True when any filter applies (rule 1 vs rule 2 discriminator)."""
+        return not self.predicate.normalize().is_trivial()
+
+    def histogram(self, dataset: Dataset, bin_edges: np.ndarray | None = None) -> Histogram:
+        """Compute this panel's histogram over *dataset*."""
+        return histogram_for(
+            dataset,
+            self.attribute,
+            self.predicate,
+            bin_edges=bin_edges,
+            bins=self.bins,
+        )
+
+    def with_filter(self, extra: Predicate) -> "Visualization":
+        """Extend the chain with one more selection (Fig. 1's linking)."""
+        return Visualization(
+            self.attribute, (self.predicate & extra).normalize(), self.bins
+        )
+
+    def shows_same_attribute(self, other: "Visualization") -> bool:
+        """Do two panels display the same attribute?"""
+        return self.attribute == other.attribute
+
+    def is_negated_sibling(self, other: "Visualization") -> bool:
+        """Rule-3 trigger: same attribute, structurally complementary filters.
+
+        Both panels must actually be filtered — two unfiltered panels of
+        the same attribute are duplicates, not a comparison.
+        """
+        return (
+            self.shows_same_attribute(other)
+            and self.is_filtered
+            and other.is_filtered
+            and self.predicate.is_complement_of(other.predicate)
+        )
+
+    def describe(self) -> str:
+        """Gauge label, e.g. ``"gender | salary = high"``."""
+        pred = self.predicate.normalize()
+        if pred.is_trivial():
+            return self.attribute
+        return f"{self.attribute} | {pred.describe()}"
+
+
+def chain(attribute: str, *filters: Predicate, bins: int = 10) -> Visualization:
+    """Build a visualization at the end of a filter chain.
+
+    ``chain("salary", Eq("education", "PhD"), Not(Eq("marital", "Married")))``
+    reproduces step E of the paper's walkthrough: the salary histogram of
+    unmarried PhDs.
+    """
+    pred: Predicate = TRUE
+    for f in filters:
+        pred = (pred & f).normalize()
+    return Visualization(attribute, pred, bins)

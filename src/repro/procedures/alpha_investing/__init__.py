@@ -1,0 +1,31 @@
+"""α-investing: incremental *and* interactive mFDR control (Sec. 5).
+
+The engine lives in :mod:`repro.procedures.alpha_investing.base`, the
+Eq. (5) wealth arithmetic in :mod:`.wealth`, and the paper's five investing
+rules (plus Foster & Stine's best-foot-forward) in :mod:`.policies`.
+"""
+
+from repro.procedures.alpha_investing.base import AlphaInvesting
+from repro.procedures.alpha_investing.policies import (
+    BestFootForward,
+    BetaFarsighted,
+    DeltaHopeful,
+    EpsilonHybrid,
+    GammaFixed,
+    InvestingPolicy,
+    PsiSupport,
+)
+from repro.procedures.alpha_investing.wealth import WealthEvent, WealthLedger
+
+__all__ = [
+    "AlphaInvesting",
+    "BestFootForward",
+    "BetaFarsighted",
+    "DeltaHopeful",
+    "EpsilonHybrid",
+    "GammaFixed",
+    "InvestingPolicy",
+    "PsiSupport",
+    "WealthEvent",
+    "WealthLedger",
+]

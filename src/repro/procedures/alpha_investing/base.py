@@ -1,0 +1,109 @@
+"""The α-investing engine: policy + ledger = streaming mFDR control.
+
+:class:`AlphaInvesting` is the procedure AWARE runs behind every exploration
+session.  It is *incremental and interactive* in the paper's sense: each
+hypothesis receives one immutable decision the moment it is tested, wealth
+evolves by Eq. (5), and — by Foster & Stine's theorem — any policy that
+respects the ledger's rules controls mFDR_eta at level α.
+
+Exhaustion semantics (Sec. 5.8): when the active policy cannot afford its
+budget, the hypothesis is *not* tested — it is recorded as an automatic
+acceptance at level 0 with ``exhausted=True`` so the caller (the AWARE
+session, or the experiment harness) can surface the "you should stop
+exploring" condition.  Thrifty policies (β-farsighted) never hit this
+state, matching the paper's discussion.
+"""
+
+from __future__ import annotations
+
+from repro.procedures.alpha_investing.policies import InvestingPolicy
+from repro.procedures.alpha_investing.wealth import WealthLedger
+from repro.procedures.base import Decision, StreamingProcedure
+
+__all__ = ["AlphaInvesting"]
+
+
+class AlphaInvesting(StreamingProcedure):
+    """Streaming mFDR control via α-investing with a pluggable policy.
+
+    Parameters
+    ----------
+    policy:
+        An :class:`InvestingPolicy` (β-farsighted, γ-fixed, δ-hopeful,
+        ε-hybrid, ψ-support, ...).
+    alpha:
+        The mFDR level to control.
+    eta:
+        Initial-wealth factor, ``W(0) = eta * alpha``; default ``1 - alpha``
+        (then mFDR control at α implies weak FWER control at α).
+    omega:
+        Payout per rejection; default α (must not exceed α).
+    """
+
+    name = "alpha-investing"
+
+    def __init__(
+        self,
+        policy: InvestingPolicy,
+        alpha: float = 0.05,
+        eta: float | None = None,
+        omega: float | None = None,
+    ) -> None:
+        super().__init__(alpha)
+        self.policy = policy
+        self.ledger = WealthLedger(alpha=alpha, eta=eta, omega=omega)
+        self.name = policy.name
+
+    @property
+    def wealth(self) -> float:
+        """Currently available α-wealth W(j)."""
+        return self.ledger.wealth
+
+    @property
+    def initial_wealth(self) -> float:
+        """W(0) = η·α."""
+        return self.ledger.initial_wealth
+
+    @property
+    def is_exhausted(self) -> bool:
+        """True when no further hypothesis can possibly be rejected."""
+        return self.ledger.max_affordable_budget() <= 0.0
+
+    def _decide(self, index: int, p_value: float, support_fraction: float) -> Decision:
+        wealth_before = self.ledger.wealth
+        desired = self.policy.desired_budget(self.ledger, index, support_fraction)
+        if desired <= 0.0 or not self.ledger.can_afford(desired):
+            # Investing Rules 2-5 skip (auto-accept) hypotheses they cannot
+            # afford; wealth is left untouched and the policy sees nothing.
+            return Decision(
+                index=index,
+                p_value=p_value,
+                level=0.0,
+                rejected=False,
+                wealth_before=wealth_before,
+                wealth_after=wealth_before,
+                exhausted=True,
+            )
+        rejected = p_value <= desired
+        event = self.ledger.settle(desired, rejected)
+        self.policy.record_outcome(self.ledger, index, rejected)
+        return Decision(
+            index=index,
+            p_value=p_value,
+            level=desired,
+            rejected=rejected,
+            wealth_before=event.wealth_before,
+            wealth_after=event.wealth_after,
+        )
+
+    def reset(self) -> None:
+        """Fresh stream: restore W(0) and clear policy + decision state."""
+        super().reset()
+        self.ledger.reset()
+        self.policy.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AlphaInvesting(policy={self.policy!r}, alpha={self.alpha}, "
+            f"wealth={self.wealth:.6f}, tested={self.num_tested})"
+        )

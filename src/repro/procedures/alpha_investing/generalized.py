@@ -1,0 +1,215 @@
+"""Generalized α-investing (Aharoni & Rosset 2014 — the paper's ref. [1]).
+
+Foster & Stine's scheme fixes the pay-off structure: charge
+``alpha_j/(1-alpha_j)`` on acceptance, earn ω on rejection.  The
+generalization decouples the three knobs of test *j*:
+
+* ``alpha_j`` — the significance level of the test,
+* ``phi_j``   — the wealth paid for *running* the test (charged always),
+* ``psi_j``   — the reward earned if the null is rejected,
+
+and controls mFDR_eta at level α as long as, for every j,
+
+    psi_j <= phi_j / alpha_j + alpha - 1    (the true-null supermartingale bound)
+    psi_j <= phi_j + alpha                  (the discovery-counting bound)
+
+with ``W(0) = eta * alpha`` and wealth never negative (``phi_j <= W(j-1)``).
+Derivation: with ``B(j) = alpha*R(j) - V(j) - W(j) + W(0)``, a true null is
+rejected with probability at most ``alpha_j``, so ``E[dB | null] =
+alpha*alpha_j - alpha_j - (psi*alpha_j - phi) >= 0`` iff the first bound
+holds; under an alternative the worst case (certain rejection) gives the
+second.  Foster–Stine is the special case ``phi_j = alpha_j/(1-alpha_j)``
+and ``psi_j = phi_j + omega``: there ``phi_j/alpha_j + alpha - 1 =
+phi_j + alpha`` exactly, so both bounds collapse to ``omega <= alpha``.
+
+The engine below mirrors :class:`~repro.procedures.alpha_investing.base.
+AlphaInvesting` but takes a :class:`GAIPolicy` that emits ``(alpha_j,
+phi_j)`` pairs; the reward is set to the maximum the control conditions
+allow, which is weakly optimal (any smaller reward only loses power).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+from repro.procedures.base import Decision, StreamingProcedure
+
+__all__ = ["GAIBid", "GAIPolicy", "ProportionalGAI", "ConstantLevelGAI", "GAIInvesting"]
+
+
+@dataclass(frozen=True)
+class GAIBid:
+    """One test's bid: significance level and wealth paid to run it."""
+
+    alpha_j: float
+    phi_j: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha_j < 1.0:
+            raise InvalidParameterError(f"alpha_j must be in (0, 1), got {self.alpha_j}")
+        if self.phi_j < 0.0:
+            raise InvalidParameterError(f"phi_j must be non-negative, got {self.phi_j}")
+
+
+class GAIPolicy(abc.ABC):
+    """Strategy emitting a :class:`GAIBid` per hypothesis."""
+
+    name: str = "gai-policy"
+
+    @abc.abstractmethod
+    def bid(self, wealth: float, initial_wealth: float, alpha: float, index: int) -> GAIBid:
+        """Produce the bid for hypothesis *index* given current wealth."""
+
+    def record_outcome(self, wealth: float, index: int, rejected: bool) -> None:
+        """Hook after a test ran (default: stateless)."""
+
+    def reset(self) -> None:
+        """Clear internal state for a fresh stream."""
+
+
+class ProportionalGAI(GAIPolicy):
+    """Spend a fixed fraction of current wealth per test.
+
+    ``phi_j = rate * W(j-1)`` and ``alpha_j = min(alpha, phi_j)``: paying
+    the test level itself as the fee keeps the null-case bound
+    ``phi_j / alpha_j >= 1`` roomy, so the reward is usually capped by the
+    discovery bound ``phi_j + alpha``.  A thrifty GAI analogue of
+    β-farsighted with ``rate = 1 - beta``.
+    """
+
+    name = "gai-proportional"
+
+    def __init__(self, rate: float = 0.1) -> None:
+        if not 0.0 < rate < 1.0:
+            raise InvalidParameterError(f"rate must be in (0, 1), got {rate}")
+        self.rate = float(rate)
+
+    def bid(self, wealth: float, initial_wealth: float, alpha: float, index: int) -> GAIBid:
+        phi = wealth * self.rate
+        return GAIBid(alpha_j=max(min(alpha, phi), 1e-12), phi_j=phi)
+
+
+class ConstantLevelGAI(GAIPolicy):
+    """Test every hypothesis at a constant level with a constant fee.
+
+    ``alpha_j = level`` and ``phi_j = fee`` until wealth runs out — the GAI
+    analogue of γ-fixed (``fee = W(0)/gamma`` recovers its cadence).
+
+    Choose ``fee > level``: the null-case reward bound is
+    ``fee/level + alpha - 1``, so a fee at or below the level zeroes the
+    reward and the policy can never recoup wealth from discoveries.
+    """
+
+    name = "gai-constant"
+
+    def __init__(self, level: float = 0.01, fee: float | None = None) -> None:
+        if not 0.0 < level < 1.0:
+            raise InvalidParameterError(f"level must be in (0, 1), got {level}")
+        if fee is not None and fee <= 0:
+            raise InvalidParameterError(f"fee must be positive, got {fee}")
+        self.level = float(level)
+        self.fee = fee
+
+    def bid(self, wealth: float, initial_wealth: float, alpha: float, index: int) -> GAIBid:
+        fee = self.fee if self.fee is not None else initial_wealth / 10.0
+        return GAIBid(alpha_j=self.level, phi_j=fee)
+
+
+class GAIInvesting(StreamingProcedure):
+    """Streaming mFDR control via generalized α-investing.
+
+    Rewards are set to the maximum the Aharoni–Rosset conditions allow:
+    ``psi_j = min(phi_j / alpha_j, phi_j + alpha)``.  Unaffordable bids
+    (``phi_j > W(j-1)``) auto-accept with ``exhausted=True``, matching the
+    exhaustion semantics of the Foster–Stine engine.
+    """
+
+    name = "gai-investing"
+
+    def __init__(
+        self,
+        policy: GAIPolicy,
+        alpha: float = 0.05,
+        eta: float | None = None,
+    ) -> None:
+        super().__init__(alpha)
+        if eta is None:
+            eta = 1.0 - alpha
+        if not 0.0 < eta <= 1.0:
+            raise InvalidParameterError(f"eta must be in (0, 1], got {eta}")
+        self.policy = policy
+        self.eta = float(eta)
+        self._initial = alpha * eta
+        self._wealth = self._initial
+        self.name = policy.name
+
+    @property
+    def wealth(self) -> float:
+        """Currently available wealth W(j)."""
+        return self._wealth
+
+    @property
+    def initial_wealth(self) -> float:
+        """W(0) = η·α."""
+        return self._initial
+
+    @property
+    def is_exhausted(self) -> bool:
+        """True when wealth is zero (no fee is affordable)."""
+        return self._wealth <= 0.0
+
+    @staticmethod
+    def max_reward(bid: GAIBid, alpha: float) -> float:
+        """The largest psi_j the control conditions permit for *bid*.
+
+        ``min(phi/alpha_j + alpha - 1, phi + alpha)``, floored at 0 —
+        a bid whose fee cannot even cover the null-case bound earns no
+        reward (it is still a valid, if wasteful, test).
+        """
+        null_bound = bid.phi_j / bid.alpha_j + alpha - 1.0
+        discovery_bound = bid.phi_j + alpha
+        return max(0.0, min(null_bound, discovery_bound))
+
+    def _decide(self, index: int, p_value: float, support_fraction: float) -> Decision:
+        wealth_before = self._wealth
+        bid = self.policy.bid(wealth_before, self._initial, self.alpha, index)
+        if bid.phi_j <= 0.0 or bid.phi_j > wealth_before:
+            return Decision(
+                index=index,
+                p_value=p_value,
+                level=0.0,
+                rejected=False,
+                wealth_before=wealth_before,
+                wealth_after=wealth_before,
+                exhausted=True,
+            )
+        rejected = p_value <= bid.alpha_j
+        self._wealth = wealth_before - bid.phi_j
+        if rejected:
+            self._wealth += self.max_reward(bid, self.alpha)
+        # Snap only rounding residue relative to the fee, so proportional
+        # (thrifty) policies keep their genuinely tiny positive balances.
+        if self._wealth < 1e-12 * bid.phi_j:
+            self._wealth = 0.0
+        self.policy.record_outcome(self._wealth, index, rejected)
+        return Decision(
+            index=index,
+            p_value=p_value,
+            level=bid.alpha_j,
+            rejected=rejected,
+            wealth_before=wealth_before,
+            wealth_after=self._wealth,
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._wealth = self._initial
+        self.policy.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GAIInvesting(policy={self.policy.name!r}, alpha={self.alpha}, "
+            f"wealth={self._wealth:.6f}, tested={self.num_tested})"
+        )

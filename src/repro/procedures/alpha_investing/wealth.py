@@ -1,0 +1,174 @@
+"""The α-wealth ledger implementing Eq. (5) of the paper.
+
+The ledger owns every arithmetic rule of the α-investing procedure
+(Foster & Stine [14], as restated in Sec. 5.1):
+
+* initial wealth ``W(0) = eta * alpha`` (η defaults to 1-α, giving weak
+  FWER control under the global null);
+* a rejection pays out ``omega`` (ω ≤ α, default α);
+* an acceptance charges ``alpha_j / (1 - alpha_j)``;
+* wealth must never go negative, which bounds the affordable budget at
+  ``alpha_j <= W / (1 + W)``.
+
+Note on the feasibility bound: the paper prints ``alpha_j <= W/(1-W)``
+(Sec. 5.1), but charging ``alpha_j/(1-alpha_j)`` with that bound would drive
+wealth negative; solving ``alpha_j/(1-alpha_j) <= W`` gives ``W/(1+W)``,
+which also matches the β-farsighted algebra (Investing Rule 1) exactly —
+``alpha_j = W(1-beta) / (1 + W(1-beta))`` charges precisely ``W(1-beta)``.
+We implement the consistent ``W/(1+W)`` bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["WealthLedger", "WealthEvent"]
+
+# Budgets must stay strictly below 1: alpha_j = 1 would charge an infinite
+# amount of wealth and alpha_j > 1 would *gain* wealth on acceptance
+# (Sec. 5.1's explicit constraint).
+_MAX_BUDGET = 1.0 - 1e-9
+
+
+@dataclass(frozen=True)
+class WealthEvent:
+    """One ledger transition: the j-th test's budget, outcome, and balance."""
+
+    index: int
+    budget: float
+    rejected: bool
+    wealth_before: float
+    wealth_after: float
+
+
+class WealthLedger:
+    """Tracks available α-wealth across a stream of tests.
+
+    Parameters
+    ----------
+    alpha:
+        The mFDR control level (Sec. 5.1).
+    eta:
+        Bias term in the mFDR denominator; ``W(0) = eta * alpha``.
+        Defaults to ``1 - alpha`` so that mFDR control at α implies weak
+        FWER control at α.
+    omega:
+        Payout added to wealth on each rejection.  Must satisfy
+        ``omega <= alpha`` for the mFDR theorem to apply; defaults to α.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.05,
+        eta: float | None = None,
+        omega: float | None = None,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise InvalidParameterError(f"alpha must be in (0, 1), got {alpha}")
+        if eta is None:
+            eta = 1.0 - alpha
+        if not 0.0 < eta <= 1.0:
+            raise InvalidParameterError(f"eta must be in (0, 1], got {eta}")
+        if omega is None:
+            omega = alpha
+        if not 0.0 < omega <= alpha:
+            raise InvalidParameterError(
+                f"omega must be in (0, alpha]={alpha} for mFDR control, got {omega}"
+            )
+        self.alpha = float(alpha)
+        self.eta = float(eta)
+        self.omega = float(omega)
+        self._wealth = self.alpha * self.eta
+        self._initial = self._wealth
+        self._events: list[WealthEvent] = []
+
+    @property
+    def wealth(self) -> float:
+        """Currently available α-wealth, W(j)."""
+        return self._wealth
+
+    @property
+    def initial_wealth(self) -> float:
+        """W(0) = η·α."""
+        return self._initial
+
+    @property
+    def events(self) -> tuple[WealthEvent, ...]:
+        """Full transition history (read-only), for the AWARE gauge."""
+        return tuple(self._events)
+
+    @staticmethod
+    def charge_for(budget: float) -> float:
+        """Wealth deducted if a test at level *budget* accepts its null."""
+        if not 0.0 <= budget < 1.0:
+            raise InvalidParameterError(f"budget must be in [0, 1), got {budget}")
+        return budget / (1.0 - budget)
+
+    def max_affordable_budget(self) -> float:
+        """Largest alpha_j whose worst-case charge keeps wealth >= 0.
+
+        Solving ``alpha_j / (1 - alpha_j) <= W`` yields
+        ``alpha_j <= W / (1 + W)`` (see module docstring for the paper's
+        typo).  Always < 1 and 0 when wealth is exhausted.
+        """
+        if self._wealth <= 0.0:
+            return 0.0
+        return min(self._wealth / (1.0 + self._wealth), _MAX_BUDGET)
+
+    def can_afford(self, budget: float) -> bool:
+        """Would testing at *budget* keep wealth non-negative on acceptance?"""
+        if budget <= 0.0 or budget >= 1.0:
+            return False
+        return self.charge_for(budget) <= self._wealth + 1e-15
+
+    def clamp_budget(self, budget: float) -> float:
+        """Clamp a policy's desired budget into the affordable range."""
+        return max(0.0, min(budget, self.max_affordable_budget()))
+
+    def settle(self, budget: float, rejected: bool) -> WealthEvent:
+        """Apply Eq. (5): pay out ω on rejection, charge on acceptance.
+
+        Raises :class:`InvalidParameterError` if *budget* is unaffordable —
+        policies must clamp first (the engine does this automatically).
+        """
+        if budget < 0.0 or budget >= 1.0:
+            raise InvalidParameterError(f"budget must be in [0, 1), got {budget}")
+        if not rejected and not self.can_afford(budget) and budget > 0.0:
+            raise InvalidParameterError(
+                f"budget {budget} is unaffordable at wealth {self._wealth}"
+            )
+        before = self._wealth
+        if rejected:
+            self._wealth = before + self.omega
+        else:
+            charge = self.charge_for(budget)
+            self._wealth = max(0.0, before - charge)
+            # Committing the maximal affordable budget should leave exactly
+            # zero; snap away the floating-point residue so exhaustion is a
+            # crisp state rather than a 1e-18 balance.  The comparison is
+            # relative to the charge so that thrifty policies' genuinely
+            # tiny-but-positive balances (beta-farsighted) are preserved.
+            if charge > 0.0 and self._wealth < 1e-12 * charge:
+                self._wealth = 0.0
+        event = WealthEvent(
+            index=len(self._events),
+            budget=budget,
+            rejected=rejected,
+            wealth_before=before,
+            wealth_after=self._wealth,
+        )
+        self._events.append(event)
+        return event
+
+    def reset(self) -> None:
+        """Restore W(0) and clear the history."""
+        self._wealth = self._initial
+        self._events = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WealthLedger(alpha={self.alpha}, eta={self.eta}, omega={self.omega}, "
+            f"wealth={self._wealth:.6f}, events={len(self._events)})"
+        )

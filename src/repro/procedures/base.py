@@ -1,0 +1,200 @@
+"""Procedure interfaces shared by every multiple-testing method.
+
+The paper's taxonomy (Sec. 4–5) distinguishes *static* procedures, which
+need all p-values before deciding anything, from *streaming* procedures,
+which emit one decision per hypothesis as it arrives.  AWARE additionally
+demands the streaming decisions be **immutable**: "hypotheses rejection
+decisions should never change based on future user actions" (Sec. 3).  The
+:class:`StreamingProcedure` contract encodes exactly that — ``test`` returns
+a final :class:`Decision` and there is no API to revise one.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["Decision", "BatchProcedure", "StreamingProcedure", "apply_to_stream"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One immutable accept/reject decision for a single null hypothesis.
+
+    Attributes
+    ----------
+    index:
+        0-based position of the hypothesis in the stream.
+    p_value:
+        The p-value that was tested.
+    level:
+        The per-test significance threshold the p-value was compared to
+        (``alpha_j`` for investing rules; ``alpha/m`` for Bonferroni; ...).
+        Zero means the procedure could not afford to test (exhausted
+        wealth) and the hypothesis was auto-accepted.
+    rejected:
+        True if the null hypothesis was rejected (a "discovery").
+    wealth_before / wealth_after:
+        Alpha-wealth around this test, when the procedure tracks wealth
+        (``nan`` otherwise); drives the AWARE gauge display.
+    exhausted:
+        True when the procedure had no usable budget for this test.
+    """
+
+    index: int
+    p_value: float
+    level: float
+    rejected: bool
+    wealth_before: float = float("nan")
+    wealth_after: float = float("nan")
+    exhausted: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_value <= 1.0:
+            raise InvalidParameterError(f"p-value out of [0, 1]: {self.p_value}")
+        if self.level < 0.0:
+            raise InvalidParameterError(f"level must be non-negative: {self.level}")
+
+
+def _validate_alpha(alpha: float) -> float:
+    if not 0.0 < alpha < 1.0:
+        raise InvalidParameterError(f"alpha must be in (0, 1), got {alpha}")
+    return float(alpha)
+
+
+def _validate_pvalues(p_values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(p_values, dtype=float)
+    if arr.ndim != 1:
+        raise InvalidParameterError("p-values must be a 1-D sequence")
+    if arr.size and (np.any(arr < 0) or np.any(arr > 1) or np.any(np.isnan(arr))):
+        raise InvalidParameterError("p-values must lie in [0, 1] and not be NaN")
+    return arr
+
+
+class BatchProcedure(abc.ABC):
+    """A procedure that decides on all hypotheses at once.
+
+    Order sensitivity differs per subclass: Bonferroni/BH are
+    order-invariant, while Sequential FDR (ForwardStop/StrongStop) consumes
+    the p-values *in stream order*.  ``decide`` therefore always receives
+    p-values in the order hypotheses were generated.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "batch"
+
+    def __init__(self, alpha: float = 0.05) -> None:
+        self.alpha = _validate_alpha(alpha)
+
+    @abc.abstractmethod
+    def decide(self, p_values: Sequence[float]) -> np.ndarray:
+        """Return a boolean rejection mask aligned with *p_values*."""
+
+    def decisions(self, p_values: Sequence[float]) -> list[Decision]:
+        """Run :meth:`decide` and wrap the mask into :class:`Decision` records."""
+        arr = _validate_pvalues(p_values)
+        mask = self.decide(arr)
+        return [
+            Decision(index=i, p_value=float(p), level=self.alpha, rejected=bool(r))
+            for i, (p, r) in enumerate(zip(arr, mask))
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(alpha={self.alpha})"
+
+
+class StreamingProcedure(abc.ABC):
+    """A procedure that decides each hypothesis as it arrives, immutably.
+
+    Subclasses implement :meth:`_next_level` (what threshold to grant test
+    *j*) and :meth:`_record` (bookkeeping after the outcome); the base class
+    owns the protocol, the decision log and the never-overturn guarantee.
+    """
+
+    name: str = "streaming"
+
+    def __init__(self, alpha: float = 0.05) -> None:
+        self.alpha = _validate_alpha(alpha)
+        self._decisions: list[Decision] = []
+
+    @property
+    def decisions(self) -> tuple[Decision, ...]:
+        """All decisions made so far, in stream order (read-only)."""
+        return tuple(self._decisions)
+
+    @property
+    def num_tested(self) -> int:
+        """How many hypotheses have been tested so far."""
+        return len(self._decisions)
+
+    @property
+    def num_rejected(self) -> int:
+        """How many discoveries (rejections) have been made so far."""
+        return sum(1 for d in self._decisions if d.rejected)
+
+    def test(self, p_value: float, support_fraction: float = 1.0) -> Decision:
+        """Test the next null hypothesis in the stream and return the decision.
+
+        *support_fraction* is the fraction of the full data population that
+        supports this hypothesis (|j|/|n| in Sec. 5.7); only the ψ-support
+        rule uses it, every other procedure ignores it.
+        """
+        if not 0.0 <= p_value <= 1.0:
+            raise InvalidParameterError(f"p-value out of [0, 1]: {p_value}")
+        if not 0.0 < support_fraction <= 1.0:
+            raise InvalidParameterError(
+                f"support_fraction must be in (0, 1], got {support_fraction}"
+            )
+        index = len(self._decisions)
+        decision = self._decide(index, float(p_value), float(support_fraction))
+        self._decisions.append(decision)
+        return decision
+
+    @abc.abstractmethod
+    def _decide(self, index: int, p_value: float, support_fraction: float) -> Decision:
+        """Produce the decision for hypothesis *index*."""
+
+    def reset(self) -> None:
+        """Forget all state and start a fresh stream."""
+        self._decisions = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(alpha={self.alpha}, tested={self.num_tested})"
+
+
+def apply_to_stream(
+    procedure: BatchProcedure | StreamingProcedure,
+    p_values: Iterable[float],
+    support_fractions: Iterable[float] | None = None,
+) -> np.ndarray:
+    """Run any procedure over an ordered p-value stream; return the mask.
+
+    Streaming procedures are reset and fed one p-value at a time; batch
+    procedures receive the whole (ordered) vector.  This is the adapter the
+    experiment harness uses so that static baselines and investing rules
+    share one code path (the paper's "static-versus-incremental comparison
+    only serves as a reference", Sec. 7).
+    """
+    arr = _validate_pvalues(list(p_values))
+    if isinstance(procedure, BatchProcedure):
+        return np.asarray(procedure.decide(arr), dtype=bool)
+    if not isinstance(procedure, StreamingProcedure):
+        raise InvalidParameterError(
+            f"expected a BatchProcedure or StreamingProcedure, got {type(procedure)!r}"
+        )
+    procedure.reset()
+    if support_fractions is None:
+        fractions = np.ones(arr.size)
+    else:
+        fractions = np.asarray(list(support_fractions), dtype=float)
+        if fractions.shape != arr.shape:
+            raise InvalidParameterError("support_fractions must align with p_values")
+    mask = np.empty(arr.size, dtype=bool)
+    for i, (p, f) in enumerate(zip(arr, fractions)):
+        mask[i] = procedure.test(float(p), float(f)).rejected
+    return mask

@@ -1,0 +1,109 @@
+"""Bonferroni-family FWER procedures (Sec. 4.2).
+
+* :class:`Bonferroni` — the classic ``alpha/m`` correction; needs *m* up
+  front, so it is static.
+* :class:`Sidak` — the slightly sharper ``1 - (1-alpha)^(1/m)`` threshold
+  (exact under independence).
+* :class:`SequentialBonferroni` — the paper's streaming variant that spends
+  ``alpha * 2^-j`` on the j-th hypothesis; controls FWER at level α as
+  j → ∞ without knowing *m*, at the price of an exponentially vanishing
+  threshold (hence "a high number of false negatives").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.procedures.base import BatchProcedure, Decision, StreamingProcedure
+
+__all__ = [
+    "bonferroni_mask",
+    "sidak_mask",
+    "Bonferroni",
+    "Sidak",
+    "SequentialBonferroni",
+]
+
+
+def bonferroni_mask(p_values: Sequence[float], alpha: float = 0.05) -> np.ndarray:
+    """Reject every null with ``p <= alpha / m``."""
+    arr = np.asarray(p_values, dtype=float)
+    if arr.size == 0:
+        return np.zeros(0, dtype=bool)
+    return arr <= alpha / arr.size
+
+
+def sidak_mask(p_values: Sequence[float], alpha: float = 0.05) -> np.ndarray:
+    """Reject every null with ``p <= 1 - (1-alpha)^(1/m)`` (Šidák).
+
+    The threshold is evaluated via ``expm1``/``log1p`` for accuracy and
+    clamped to at least ``alpha/m``: mathematically the Šidák threshold
+    dominates Bonferroni's, and the clamp keeps that ordering exact at the
+    m = 1 boundary where naive floating point can round it just below.
+    """
+    arr = np.asarray(p_values, dtype=float)
+    if arr.size == 0:
+        return np.zeros(0, dtype=bool)
+    threshold = -np.expm1(np.log1p(-alpha) / arr.size)
+    threshold = max(threshold, alpha / arr.size)
+    return arr <= threshold
+
+
+class Bonferroni(BatchProcedure):
+    """Classic Bonferroni correction, controlling FWER in the strong sense."""
+
+    name = "bonferroni"
+
+    def decide(self, p_values: Sequence[float]) -> np.ndarray:
+        return bonferroni_mask(p_values, self.alpha)
+
+
+class Sidak(BatchProcedure):
+    """Šidák correction; marginally more powerful than Bonferroni under
+    independence, identical asymptotics."""
+
+    name = "sidak"
+
+    def decide(self, p_values: Sequence[float]) -> np.ndarray:
+        return sidak_mask(p_values, self.alpha)
+
+
+class SequentialBonferroni(StreamingProcedure):
+    """Streaming Bonferroni: hypothesis *j* (1-based) is tested at α·2⁻ʲ.
+
+    Since ``sum_j alpha * 2^-j = alpha``, the union bound gives FWER ≤ α
+    for arbitrarily long streams.  The threshold halves with every test, so
+    power collapses after a few dozen hypotheses — the behaviour the paper
+    cites to argue FWER control is hopeless for exploration.
+
+    The *ratio* (default 0.5) generalizes the spending sequence to
+    ``alpha * (1-ratio) * ratio^(j-1) / ...`` — any geometric series summing
+    to α; ratio=0.5 reproduces the paper's α·2⁻ʲ exactly.
+    """
+
+    name = "seq-bonferroni"
+
+    def __init__(self, alpha: float = 0.05, ratio: float = 0.5) -> None:
+        super().__init__(alpha)
+        if not 0.0 < ratio < 1.0:
+            raise InvalidParameterError(f"ratio must be in (0, 1), got {ratio}")
+        self.ratio = float(ratio)
+
+    def _level_for(self, index: int) -> float:
+        # Geometric spending: levels sum to alpha over the infinite stream.
+        # With ratio r, level_j = alpha * (1-r) * r^j  (j 0-based); for
+        # r = 1/2 this is alpha * 2^-(j+1)... the paper writes alpha * 2^-j
+        # with j 1-based, which is the same sequence.
+        return self.alpha * (1.0 - self.ratio) * self.ratio**index
+
+    def _decide(self, index: int, p_value: float, support_fraction: float) -> Decision:
+        level = self._level_for(index)
+        return Decision(
+            index=index,
+            p_value=p_value,
+            level=level,
+            rejected=p_value <= level,
+        )

@@ -1,0 +1,91 @@
+"""Sequential FDR of G'Sell et al. [15]: ForwardStop and StrongStop.
+
+These procedures consume an *ordered* stream of p-values — the order the
+hypotheses were generated in, not sorted — and pick a stopping index k̂;
+hypotheses 1..k̂ are rejected.  They control FDR at level α when the
+p-values are independent, but they are **incremental yet non-interactive**
+(Sec. 5 of the paper): the stopping index is only known once the whole
+stream has been seen, so decisions shown to a user mid-stream could be
+overturned later.  That is precisely the behaviour AWARE's investing rules
+are designed to avoid; SeqFDR is the strongest incremental baseline in
+Exp. 1b/1c/2 (Figs. 4–6).
+
+ForwardStop:  k̂ = max { k : (1/k) * sum_{i<=k} -log(1 - p_i) <= alpha }
+StrongStop:   k̂ = max { k : exp( sum_{j>=k} log(p_j)/j ) <= alpha * k / m }
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.procedures.base import BatchProcedure
+
+__all__ = ["forward_stop_k", "strong_stop_k", "ForwardStop", "StrongStop"]
+
+# p-values of exactly 1.0 would give -log(0) = inf; clip just inside.
+_P_CLIP = 1.0 - 1e-15
+
+
+def forward_stop_k(p_values: Sequence[float], alpha: float = 0.05) -> int:
+    """ForwardStop stopping index k̂ (0 when nothing can be rejected).
+
+    The running mean of the transformed p-values ``Y_i = -log(1 - p_i)``
+    estimates the FDR among the first k hypotheses: under a true null
+    ``Y_i`` is Exp(1) with mean 1, under a good alternative it is near 0.
+    """
+    arr = np.clip(np.asarray(p_values, dtype=float), 0.0, _P_CLIP)
+    if arr.size == 0:
+        return 0
+    transformed = -np.log1p(-arr)
+    running_mean = np.cumsum(transformed) / np.arange(1, arr.size + 1)
+    passing = np.nonzero(running_mean <= alpha)[0]
+    return int(passing[-1] + 1) if passing.size else 0
+
+
+def strong_stop_k(p_values: Sequence[float], alpha: float = 0.05) -> int:
+    """StrongStop stopping index k̂ (controls FWER, stricter than ForwardStop)."""
+    arr = np.clip(np.asarray(p_values, dtype=float), 1e-300, _P_CLIP)
+    m = arr.size
+    if m == 0:
+        return 0
+    # suffix_sum[k] = sum_{j=k..m} log(p_j)/j   (1-based j)
+    terms = np.log(arr) / np.arange(1, m + 1)
+    suffix = np.cumsum(terms[::-1])[::-1]
+    adjusted = np.exp(suffix)
+    thresholds = alpha * np.arange(1, m + 1) / m
+    passing = np.nonzero(adjusted <= thresholds)[0]
+    return int(passing[-1] + 1) if passing.size else 0
+
+
+class ForwardStop(BatchProcedure):
+    """Sequential FDR via the ForwardStop rule (the paper's "SeqFDR").
+
+    Order-sensitive batch procedure: feed p-values in generation order.
+    An early high p-value permanently depresses the running mean's budget,
+    harming later low p-values — the weakness Sec. 4.3 highlights for
+    exploration sessions that hop between "avenues" of discovery.
+    """
+
+    name = "seqfdr"
+
+    def decide(self, p_values: Sequence[float]) -> np.ndarray:
+        arr = np.asarray(p_values, dtype=float)
+        k = forward_stop_k(arr, self.alpha)
+        mask = np.zeros(arr.size, dtype=bool)
+        mask[:k] = True
+        return mask
+
+
+class StrongStop(BatchProcedure):
+    """Sequential testing via the StrongStop rule (FWER-level control)."""
+
+    name = "seqfdr-strong"
+
+    def decide(self, p_values: Sequence[float]) -> np.ndarray:
+        arr = np.asarray(p_values, dtype=float)
+        k = strong_stop_k(arr, self.alpha)
+        mask = np.zeros(arr.size, dtype=bool)
+        mask[:k] = True
+        return mask

@@ -1,0 +1,61 @@
+"""Combining p-values across tests (Fisher, Stouffer).
+
+Used by the hold-out analysis (Sec. 4.1) and by ablation benchmarks that
+contrast "test twice and require both to reject" against principled
+combination of the two halves' evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientDataError, InvalidParameterError
+from repro.stats.distributions import ChiSquared, Normal
+
+__all__ = ["fisher_combine", "stouffer_combine"]
+
+
+def _validate_pvalues(p_values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(p_values, dtype=float)
+    if arr.size == 0:
+        raise InsufficientDataError("cannot combine an empty set of p-values")
+    if np.any((arr < 0) | (arr > 1)):
+        raise InvalidParameterError("p-values must lie in [0, 1]")
+    return arr
+
+
+def fisher_combine(p_values: Sequence[float]) -> float:
+    """Fisher's method: ``-2 * sum(log p_i)`` is chi-square with 2k df.
+
+    Exact zeros are clipped to the smallest positive float so a single
+    degenerate p-value cannot produce NaN.
+    """
+    arr = _validate_pvalues(p_values)
+    arr = np.clip(arr, np.finfo(float).tiny, 1.0)
+    stat = -2.0 * np.log(arr).sum()
+    return float(ChiSquared(2.0 * arr.size).sf(stat))
+
+
+def stouffer_combine(
+    p_values: Sequence[float],
+    weights: Sequence[float] | None = None,
+) -> float:
+    """Stouffer's weighted z method (one-sided p-values in, one-sided out)."""
+    arr = _validate_pvalues(p_values)
+    if weights is None:
+        w = np.ones_like(arr)
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != arr.shape:
+            raise InvalidParameterError("weights must align with p-values")
+        if np.any(w <= 0):
+            raise InvalidParameterError("weights must be strictly positive")
+    normal = Normal()
+    eps = np.finfo(float).tiny
+    clipped = np.clip(arr, eps, 1.0 - 1e-16)
+    z_scores = normal.isf(clipped)
+    z = float((w * z_scores).sum() / math.sqrt(float((w * w).sum())))
+    return float(normal.sf(z))

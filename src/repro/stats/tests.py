@@ -1,0 +1,569 @@
+"""Hypothesis tests: z, t, chi-square, proportion and permutation tests.
+
+Every test returns a :class:`TestResult`, the unit of currency the whole
+library trades in: procedures consume its ``p_value``, the AWARE gauge
+displays its effect size, and the ``n_H1`` estimators in
+:mod:`repro.stats.power` use its ``family``/``n_obs``/``statistic`` to reason
+about how the evidence scales with data volume.
+
+The default AWARE hypothesis for a filtered histogram is a chi-square test
+(Sec. 2.3 of the paper), with the t-test available as a user override for
+mean comparisons (step F of the walkthrough), so those two families receive
+the most care here.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientDataError, InvalidParameterError
+from repro.rng import SeedLike, as_generator
+from repro.stats.descriptive import pooled_variance
+from repro.stats.distributions import ChiSquared, Normal, StudentT
+from repro.stats.effect_size import cohen_d, cohen_w_from_counts, cramers_v
+
+__all__ = [
+    "TestFamily",
+    "TestResult",
+    "z_test_from_statistic",
+    "z_test_one_sample",
+    "z_test_two_sample",
+    "t_test_one_sample",
+    "t_test_two_sample",
+    "proportion_z_test",
+    "chi_square_gof",
+    "chi_square_independence",
+    "chi_square_two_sample",
+    "permutation_test_mean",
+]
+
+_ALTERNATIVES = ("two-sided", "greater", "less")
+_STD_NORMAL = Normal()
+
+
+class TestFamily(enum.Enum):
+    """How a test statistic scales with sample size.
+
+    The family drives the ``n_H1`` extrapolation of Sec. 3: z/t statistics
+    grow like sqrt(n) at fixed effect size, chi-square statistics grow like
+    n, and permutation tests are re-run rather than extrapolated.
+    """
+
+    # Keep pytest from collecting this class (its name starts with "Test").
+    __test__ = False
+
+    Z = "z"
+    T = "t"
+    CHI_SQUARED = "chi-squared"
+    PERMUTATION = "permutation"
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a single statistical hypothesis test.
+
+    Attributes
+    ----------
+    name:
+        Human-readable test identifier (e.g. ``"welch-t-test"``).
+    family:
+        The :class:`TestFamily`, used for power/``n_H1`` extrapolation.
+    statistic:
+        The observed test statistic.
+    p_value:
+        Probability, under the null, of a statistic at least as extreme.
+    alternative:
+        ``"two-sided"``, ``"greater"`` or ``"less"``.
+    df:
+        Degrees of freedom where applicable.
+    n_obs:
+        Size of the support population that produced the statistic; the
+        ψ-support investing rule (Sec. 5.7) budgets proportionally to this.
+    effect_size / effect_name:
+        Magnitude of the observed effect (Cohen's d/w, Cramér's V, ...).
+    details:
+        Extra read-only diagnostics (group sizes, means, expected counts...).
+    """
+
+    # Keep pytest from collecting this class (its name starts with "Test").
+    __test__ = False
+
+    name: str
+    family: TestFamily
+    statistic: float
+    p_value: float
+    alternative: str = "two-sided"
+    df: float | None = None
+    n_obs: int = 0
+    effect_size: float | None = None
+    effect_name: str | None = None
+    details: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_value <= 1.0:
+            raise InvalidParameterError(f"p-value out of [0, 1]: {self.p_value}")
+        if self.alternative not in _ALTERNATIVES:
+            raise InvalidParameterError(f"unknown alternative: {self.alternative!r}")
+        object.__setattr__(self, "details", MappingProxyType(dict(self.details)))
+
+    def reject_at(self, level: float) -> bool:
+        """Would this test reject its null at significance *level*?"""
+        _check_level(level)
+        return self.p_value <= level
+
+
+def _check_level(level: float) -> None:
+    if not 0.0 < level < 1.0:
+        raise InvalidParameterError(f"significance level must be in (0, 1), got {level}")
+
+
+def _check_alternative(alternative: str) -> None:
+    if alternative not in _ALTERNATIVES:
+        raise InvalidParameterError(
+            f"alternative must be one of {_ALTERNATIVES}, got {alternative!r}"
+        )
+
+
+def _p_from_z(z: float, alternative: str) -> float:
+    if alternative == "two-sided":
+        return float(2.0 * _STD_NORMAL.sf(abs(z)))
+    if alternative == "greater":
+        return float(_STD_NORMAL.sf(z))
+    return float(_STD_NORMAL.cdf(z))
+
+
+def _p_from_t(t: float, df: float, alternative: str) -> float:
+    dist = StudentT(df)
+    if alternative == "two-sided":
+        return float(2.0 * dist.sf(abs(t)))
+    if alternative == "greater":
+        return float(dist.sf(t))
+    return float(dist.cdf(t))
+
+
+def z_test_from_statistic(
+    z: float,
+    alternative: str = "two-sided",
+    n_obs: int = 1,
+) -> TestResult:
+    """Wrap a pre-computed z statistic into a :class:`TestResult`.
+
+    This is the primitive behind the Exp.1 synthetic workload (Sec. 7.1),
+    which — following the Benjamini–Hochberg simulation design — represents
+    each hypothesis directly by a unit-variance normal statistic.
+    """
+    _check_alternative(alternative)
+    return TestResult(
+        name="z-test",
+        family=TestFamily.Z,
+        statistic=float(z),
+        p_value=min(1.0, _p_from_z(float(z), alternative)),
+        alternative=alternative,
+        n_obs=n_obs,
+        effect_size=float(z) / math.sqrt(max(n_obs, 1)),
+        effect_name="z-per-sqrt-n",
+    )
+
+
+def z_test_one_sample(
+    x: Sequence[float],
+    popmean: float,
+    popsd: float,
+    alternative: str = "two-sided",
+) -> TestResult:
+    """One-sample z-test with known population standard deviation."""
+    _check_alternative(alternative)
+    x = np.asarray(x, dtype=float)
+    if len(x) < 1:
+        raise InsufficientDataError("z-test requires at least 1 observation")
+    if popsd <= 0:
+        raise InvalidParameterError(f"popsd must be positive, got {popsd}")
+    z = (x.mean() - popmean) / (popsd / math.sqrt(len(x)))
+    return TestResult(
+        name="one-sample-z-test",
+        family=TestFamily.Z,
+        statistic=float(z),
+        p_value=_p_from_z(float(z), alternative),
+        alternative=alternative,
+        n_obs=len(x),
+        effect_size=float((x.mean() - popmean) / popsd),
+        effect_name="cohen-d",
+        details={"mean": float(x.mean()), "popmean": popmean, "popsd": popsd},
+    )
+
+
+def z_test_two_sample(
+    x: Sequence[float],
+    y: Sequence[float],
+    sd_x: float,
+    sd_y: float,
+    alternative: str = "two-sided",
+) -> TestResult:
+    """Two-sample z-test with known per-population standard deviations."""
+    _check_alternative(alternative)
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) < 1 or len(y) < 1:
+        raise InsufficientDataError("z-test requires at least 1 observation per group")
+    if sd_x <= 0 or sd_y <= 0:
+        raise InvalidParameterError("population standard deviations must be positive")
+    se = math.sqrt(sd_x**2 / len(x) + sd_y**2 / len(y))
+    z = (x.mean() - y.mean()) / se
+    sd_avg = math.sqrt((sd_x**2 + sd_y**2) / 2.0)
+    return TestResult(
+        name="two-sample-z-test",
+        family=TestFamily.Z,
+        statistic=float(z),
+        p_value=_p_from_z(float(z), alternative),
+        alternative=alternative,
+        n_obs=len(x) + len(y),
+        effect_size=float((x.mean() - y.mean()) / sd_avg),
+        effect_name="cohen-d",
+        details={"mean_x": float(x.mean()), "mean_y": float(y.mean()), "se": se},
+    )
+
+
+def t_test_one_sample(
+    x: Sequence[float],
+    popmean: float,
+    alternative: str = "two-sided",
+) -> TestResult:
+    """One-sample Student t-test against a hypothesized mean."""
+    _check_alternative(alternative)
+    x = np.asarray(x, dtype=float)
+    if len(x) < 2:
+        raise InsufficientDataError("one-sample t-test requires >= 2 observations")
+    sd = x.std(ddof=1)
+    if sd == 0:
+        # Degenerate sample: all values identical. The statistic is +-inf
+        # unless the mean matches the null exactly.
+        if x.mean() == popmean:
+            return TestResult(
+                name="one-sample-t-test",
+                family=TestFamily.T,
+                statistic=0.0,
+                p_value=1.0,
+                alternative=alternative,
+                df=float(len(x) - 1),
+                n_obs=len(x),
+                effect_size=0.0,
+                effect_name="cohen-d",
+            )
+        raise InsufficientDataError("sample has zero variance but nonzero mean difference")
+    t = (x.mean() - popmean) / (sd / math.sqrt(len(x)))
+    df = float(len(x) - 1)
+    return TestResult(
+        name="one-sample-t-test",
+        family=TestFamily.T,
+        statistic=float(t),
+        p_value=_p_from_t(float(t), df, alternative),
+        alternative=alternative,
+        df=df,
+        n_obs=len(x),
+        effect_size=float((x.mean() - popmean) / sd),
+        effect_name="cohen-d",
+        details={"mean": float(x.mean()), "sd": float(sd)},
+    )
+
+
+def t_test_two_sample(
+    x: Sequence[float],
+    y: Sequence[float],
+    alternative: str = "two-sided",
+    equal_var: bool = False,
+) -> TestResult:
+    """Two-sample t-test: Welch (default) or pooled-variance Student.
+
+    Welch is the safer default for exploration data where filtered
+    sub-populations rarely share a variance; ``equal_var=True`` selects the
+    classical Student test with pooled variance.
+    """
+    _check_alternative(alternative)
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) < 2 or len(y) < 2:
+        raise InsufficientDataError("two-sample t-test requires >= 2 observations per group")
+    nx, ny = len(x), len(y)
+    if equal_var:
+        sp2 = pooled_variance(x, y)
+        if sp2 == 0:
+            return _degenerate_two_sample_t(x, y, alternative, equal_var)
+        se = math.sqrt(sp2 * (1.0 / nx + 1.0 / ny))
+        df = float(nx + ny - 2)
+        name = "student-t-test"
+    else:
+        vx, vy = x.var(ddof=1), y.var(ddof=1)
+        if vx == 0 and vy == 0:
+            return _degenerate_two_sample_t(x, y, alternative, equal_var)
+        se = math.sqrt(vx / nx + vy / ny)
+        # Welch–Satterthwaite degrees of freedom.  With subnormal variances
+        # the squared terms can underflow to zero even though se > 0; fall
+        # back to the pooled df in that corner.
+        df_denominator = (vx / nx) ** 2 / (nx - 1) + (vy / ny) ** 2 / (ny - 1)
+        if df_denominator > 0:
+            df = float((vx / nx + vy / ny) ** 2 / df_denominator)
+        else:
+            df = float(nx + ny - 2)
+        name = "welch-t-test"
+    t = (x.mean() - y.mean()) / se
+    return TestResult(
+        name=name,
+        family=TestFamily.T,
+        statistic=float(t),
+        p_value=_p_from_t(float(t), df, alternative),
+        alternative=alternative,
+        df=df,
+        n_obs=nx + ny,
+        effect_size=cohen_d(x, y),
+        effect_name="cohen-d",
+        details={"mean_x": float(x.mean()), "mean_y": float(y.mean()), "se": float(se)},
+    )
+
+
+def _degenerate_two_sample_t(x, y, alternative: str, equal_var: bool) -> TestResult:
+    """Handle the zero-variance corner: identical constants on both sides."""
+    if x.mean() == y.mean():
+        return TestResult(
+            name="student-t-test" if equal_var else "welch-t-test",
+            family=TestFamily.T,
+            statistic=0.0,
+            p_value=1.0,
+            alternative=alternative,
+            df=float(len(x) + len(y) - 2),
+            n_obs=len(x) + len(y),
+            effect_size=0.0,
+            effect_name="cohen-d",
+        )
+    raise InsufficientDataError("both samples have zero variance but different means")
+
+
+def proportion_z_test(
+    successes_x: int,
+    n_x: int,
+    successes_y: int,
+    n_y: int,
+    alternative: str = "two-sided",
+) -> TestResult:
+    """Two-sample proportion z-test with pooled standard error.
+
+    The natural test for "is salary>50k more common under this filter?"
+    style comparisons of binary attributes.
+    """
+    _check_alternative(alternative)
+    if n_x < 1 or n_y < 1:
+        raise InsufficientDataError("proportion test requires at least 1 trial per group")
+    if not 0 <= successes_x <= n_x or not 0 <= successes_y <= n_y:
+        raise InvalidParameterError("successes must lie in [0, n]")
+    p_x = successes_x / n_x
+    p_y = successes_y / n_y
+    pooled = (successes_x + successes_y) / (n_x + n_y)
+    se = math.sqrt(pooled * (1.0 - pooled) * (1.0 / n_x + 1.0 / n_y))
+    if se == 0:
+        z = 0.0
+        p_value = 1.0
+    else:
+        z = (p_x - p_y) / se
+        p_value = _p_from_z(z, alternative)
+    # Cohen's h effect size for proportions.
+    h = 2.0 * math.asin(math.sqrt(p_x)) - 2.0 * math.asin(math.sqrt(p_y))
+    return TestResult(
+        name="two-proportion-z-test",
+        family=TestFamily.Z,
+        statistic=float(z),
+        p_value=float(p_value),
+        alternative=alternative,
+        n_obs=n_x + n_y,
+        effect_size=float(h),
+        effect_name="cohen-h",
+        details={"p_x": p_x, "p_y": p_y, "pooled": pooled},
+    )
+
+
+def chi_square_gof(
+    observed: Mapping[object, int] | Sequence[int],
+    expected_probs: Mapping[object, float] | Sequence[float],
+    min_expected: float = 0.0,
+) -> TestResult:
+    """Chi-square goodness-of-fit of observed counts against a reference.
+
+    This is AWARE's rule-2 default hypothesis (Sec. 2.3): the distribution
+    of an attribute under a filter is tested against the whole-dataset
+    distribution.  Cells whose expected probability is zero are dropped
+    (they cannot discriminate), and *min_expected* lets callers enforce the
+    usual >=5 expected-count rule of thumb.
+    """
+    obs = _counts_to_array(observed)
+    probs = _counts_to_array(expected_probs)
+    if obs.shape != probs.shape:
+        raise InvalidParameterError("observed and expected must have the same length")
+    if np.any(probs < 0):
+        raise InvalidParameterError("expected probabilities must be non-negative")
+    total_prob = probs.sum()
+    if total_prob <= 0:
+        raise InvalidParameterError("expected probabilities must sum to a positive value")
+    probs = probs / total_prob
+    keep = probs > 0
+    if np.any(obs[~keep] > 0):
+        raise InvalidParameterError(
+            "observed counts fall in categories with zero expected probability"
+        )
+    obs = obs[keep]
+    probs = probs[keep]
+    n = obs.sum()
+    if n <= 0:
+        raise InsufficientDataError("goodness-of-fit requires a positive observed total")
+    if len(obs) < 2:
+        raise InsufficientDataError("goodness-of-fit requires >= 2 usable categories")
+    expected = n * probs
+    if min_expected > 0 and np.any(expected < min_expected):
+        raise InsufficientDataError(
+            f"minimum expected count {expected.min():.3g} below required {min_expected}"
+        )
+    stat = float(((obs - expected) ** 2 / expected).sum())
+    df = float(len(obs) - 1)
+    p_value = float(ChiSquared(df).sf(stat))
+    w = cohen_w_from_counts(obs, expected)
+    return TestResult(
+        name="chi-square-gof",
+        family=TestFamily.CHI_SQUARED,
+        statistic=stat,
+        p_value=p_value,
+        alternative="two-sided",
+        df=df,
+        n_obs=int(n),
+        effect_size=w,
+        effect_name="cohen-w",
+        details={"categories": float(len(obs))},
+    )
+
+
+def chi_square_independence(table: Sequence[Sequence[int]]) -> TestResult:
+    """Pearson chi-square test of independence on an r x c table."""
+    t = np.asarray(table, dtype=float)
+    if t.ndim != 2 or min(t.shape) < 2:
+        raise InvalidParameterError("independence test needs a 2-D table with >= 2 levels each")
+    if np.any(t < 0):
+        raise InvalidParameterError("counts must be non-negative")
+    n = t.sum()
+    if n <= 0:
+        raise InsufficientDataError("contingency table must have a positive total")
+    row = t.sum(axis=1, keepdims=True)
+    col = t.sum(axis=0, keepdims=True)
+    # Rows/columns that are entirely empty carry no information; drop them
+    # so degrees of freedom reflect the populated table.
+    t = t[row[:, 0] > 0][:, col[0] > 0]
+    if t.ndim != 2 or min(t.shape) < 2:
+        raise InsufficientDataError("table collapses below 2x2 after removing empty margins")
+    row = t.sum(axis=1, keepdims=True)
+    col = t.sum(axis=0, keepdims=True)
+    expected = row @ col / t.sum()
+    stat = float(((t - expected) ** 2 / expected).sum())
+    df = float((t.shape[0] - 1) * (t.shape[1] - 1))
+    p_value = float(ChiSquared(df).sf(stat))
+    return TestResult(
+        name="chi-square-independence",
+        family=TestFamily.CHI_SQUARED,
+        statistic=stat,
+        p_value=p_value,
+        alternative="two-sided",
+        df=df,
+        n_obs=int(t.sum()),
+        effect_size=cramers_v(t),
+        effect_name="cramers-v",
+    )
+
+
+def chi_square_two_sample(
+    counts_x: Mapping[object, int] | Sequence[int],
+    counts_y: Mapping[object, int] | Sequence[int],
+) -> TestResult:
+    """Chi-square homogeneity test between two aligned count vectors.
+
+    AWARE's rule-3 default hypothesis (Sec. 2.3): when two visualizations of
+    the same attribute under complementary filters sit side by side, test
+    whether the two distributions differ.  Implemented as independence on
+    the stacked 2 x c table.
+    """
+    x = _counts_to_array(counts_x)
+    y = _counts_to_array(counts_y)
+    if x.shape != y.shape:
+        raise InvalidParameterError("count vectors must be aligned on the same categories")
+    table = np.vstack([x, y])
+    nonzero_cols = table.sum(axis=0) > 0
+    table = table[:, nonzero_cols]
+    if table.shape[1] < 2:
+        raise InsufficientDataError("two-sample chi-square needs >= 2 populated categories")
+    result = chi_square_independence(table)
+    return TestResult(
+        name="chi-square-two-sample",
+        family=TestFamily.CHI_SQUARED,
+        statistic=result.statistic,
+        p_value=result.p_value,
+        alternative="two-sided",
+        df=result.df,
+        n_obs=result.n_obs,
+        effect_size=result.effect_size,
+        effect_name=result.effect_name,
+        details={"categories": float(table.shape[1])},
+    )
+
+
+def permutation_test_mean(
+    x: Sequence[float],
+    y: Sequence[float],
+    n_resamples: int = 2000,
+    alternative: str = "two-sided",
+    seed: SeedLike = None,
+) -> TestResult:
+    """Permutation test on the difference of means (Sec. 4.4 mention).
+
+    Monte-Carlo permutation with the +1 correction of Phipson & Smyth so
+    the p-value is never exactly zero.  Expensive by design — the paper
+    rejects simulation-based corrections for interactive use precisely
+    because of this cost — but included for completeness and validation.
+    """
+    _check_alternative(alternative)
+    if n_resamples < 1:
+        raise InvalidParameterError("n_resamples must be >= 1")
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) < 1 or len(y) < 1:
+        raise InsufficientDataError("permutation test requires non-empty samples")
+    rng = as_generator(seed)
+    observed = x.mean() - y.mean()
+    combined = np.concatenate([x, y])
+    nx = len(x)
+    diffs = np.empty(n_resamples)
+    for i in range(n_resamples):
+        rng.shuffle(combined)
+        diffs[i] = combined[:nx].mean() - combined[nx:].mean()
+    if alternative == "two-sided":
+        extreme = np.sum(np.abs(diffs) >= abs(observed))
+    elif alternative == "greater":
+        extreme = np.sum(diffs >= observed)
+    else:
+        extreme = np.sum(diffs <= observed)
+    p_value = (extreme + 1.0) / (n_resamples + 1.0)
+    return TestResult(
+        name="permutation-test-mean",
+        family=TestFamily.PERMUTATION,
+        statistic=float(observed),
+        p_value=float(p_value),
+        alternative=alternative,
+        n_obs=len(x) + len(y),
+        effect_size=cohen_d(x, y) if len(x) > 1 and len(y) > 1 else None,
+        effect_name="cohen-d",
+        details={"n_resamples": float(n_resamples)},
+    )
+
+
+def _counts_to_array(counts) -> np.ndarray:
+    if isinstance(counts, Mapping):
+        return np.asarray(list(counts.values()), dtype=float)
+    return np.asarray(counts, dtype=float)

@@ -1,0 +1,54 @@
+"""Workload generators for the paper's evaluation (Sec. 7).
+
+* :mod:`repro.workloads.synthetic` — the Benjamini–Hochberg-style z-stream
+  simulation of Exp. 1 (m hypotheses, configurable null proportion, effects
+  5/4..5) plus a data-level two-sample variant.
+* :mod:`repro.workloads.census` — the synthetic census standing in for the
+  UCI Adult dataset, with planted dependencies (see DESIGN.md §4).
+* :mod:`repro.workloads.user_study` — the fixed-order 115-hypothesis
+  user-study workflow of Exp. 2.
+* :mod:`repro.workloads.ground_truth` — full-data Bonferroni labelling.
+"""
+
+from repro.workloads.census import (
+    CENSUS_CATEGORICAL,
+    CENSUS_NUMERIC,
+    DEPENDENT_PAIRS,
+    INDEPENDENT_ATTRIBUTES,
+    make_census,
+)
+from repro.workloads.ground_truth import LabelledWorkflow, label_ground_truth
+from repro.workloads.synthetic import (
+    PAPER_EFFECT_SIZES,
+    HypothesisInstance,
+    SyntheticStream,
+    TwoSampleStreamGenerator,
+    ZStreamGenerator,
+)
+from repro.workloads.user_study import (
+    StepKind,
+    StepOutcome,
+    Workflow,
+    WorkflowStep,
+    make_user_study_workflow,
+)
+
+__all__ = [
+    "CENSUS_CATEGORICAL",
+    "CENSUS_NUMERIC",
+    "DEPENDENT_PAIRS",
+    "HypothesisInstance",
+    "INDEPENDENT_ATTRIBUTES",
+    "LabelledWorkflow",
+    "PAPER_EFFECT_SIZES",
+    "StepKind",
+    "StepOutcome",
+    "SyntheticStream",
+    "TwoSampleStreamGenerator",
+    "Workflow",
+    "WorkflowStep",
+    "ZStreamGenerator",
+    "label_ground_truth",
+    "make_census",
+    "make_user_study_workflow",
+]

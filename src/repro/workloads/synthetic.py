@@ -1,0 +1,243 @@
+"""Synthetic hypothesis streams for Exp. 1 (Sec. 7.1–7.2).
+
+The paper follows the classic Benjamini–Hochberg simulation design: each
+hypothesis compares "the expectations of two independently distributed
+normal random variables of variance 1 but different expectations varying
+from 5/4 to 5".  Concretely, hypothesis j is summarized by one z statistic
+
+    Z_j ~ N(mu_j, 1),   mu_j = 0 under a true null,
+                        mu_j in {5/4, 10/4, 15/4, 5} under an alternative,
+
+with two-sided p-values.  True nulls are placed uniformly at random among
+the m positions, and the proportion of true nulls is the experiment's main
+knob (25 % / 75 % / 100 %).
+
+Two generators are provided:
+
+* :class:`ZStreamGenerator` — the statistic-level design above, with a
+  ``sample_fraction`` that scales the non-centrality by ``sqrt(fraction)``
+  (testing on a uniform sub-sample of the underlying data shrinks the
+  expected z exactly that way).  This powers Exp. 1a/1b/1c.
+* :class:`TwoSampleStreamGenerator` — a data-level variant that actually
+  draws the two normal samples and runs a Welch t-test, used to validate
+  that the statistic-level shortcut matches real tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.rng import SeedLike, as_generator
+from repro.stats.distributions import Normal
+from repro.stats.tests import t_test_two_sample
+
+__all__ = [
+    "HypothesisInstance",
+    "SyntheticStream",
+    "ZStreamGenerator",
+    "TwoSampleStreamGenerator",
+    "PAPER_EFFECT_SIZES",
+]
+
+#: "expectations varying from 5/4 to 5" — four equally spaced levels, as in
+#: the Benjamini–Hochberg (1995) simulation the paper models itself on.
+PAPER_EFFECT_SIZES: tuple[float, ...] = (1.25, 2.5, 3.75, 5.0)
+
+_STD_NORMAL = Normal()
+
+
+@dataclass(frozen=True)
+class HypothesisInstance:
+    """One hypothesis drawn by a generator."""
+
+    p_value: float
+    is_null: bool
+    support_fraction: float
+    effect: float
+
+
+@dataclass(frozen=True)
+class SyntheticStream:
+    """An ordered stream of hypotheses with ground-truth labels."""
+
+    instances: tuple[HypothesisInstance, ...]
+
+    @property
+    def p_values(self) -> np.ndarray:
+        """The ordered p-values."""
+        return np.array([h.p_value for h in self.instances])
+
+    @property
+    def null_mask(self) -> np.ndarray:
+        """True where the null hypothesis is actually true."""
+        return np.array([h.is_null for h in self.instances], dtype=bool)
+
+    @property
+    def support_fractions(self) -> np.ndarray:
+        """Per-hypothesis support |j|/|n| for the ψ-support rule."""
+        return np.array([h.support_fraction for h in self.instances])
+
+    @property
+    def num_alternatives(self) -> int:
+        """Number of truly false nulls (discoverable effects)."""
+        return int((~self.null_mask).sum())
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+
+def _place_nulls(m: int, null_proportion: float, rng: np.random.Generator) -> np.ndarray:
+    """Uniformly-random placement of the true nulls among m positions."""
+    n_null = int(round(m * null_proportion))
+    mask = np.zeros(m, dtype=bool)
+    if n_null > 0:
+        mask[rng.choice(m, size=n_null, replace=False)] = True
+    return mask
+
+
+def _cycle_effects(count: int, effects: Sequence[float], rng: np.random.Generator) -> np.ndarray:
+    """Assign effect sizes to alternatives in equal proportions, shuffled."""
+    if count == 0:
+        return np.zeros(0)
+    reps = int(np.ceil(count / len(effects)))
+    assigned = np.tile(np.asarray(effects, dtype=float), reps)[:count]
+    rng.shuffle(assigned)
+    return assigned
+
+
+@dataclass(frozen=True)
+class ZStreamGenerator:
+    """Statistic-level generator for the Sec. 7.1 simulation.
+
+    Parameters
+    ----------
+    m:
+        Number of hypotheses in the stream.
+    null_proportion:
+        Fraction of true nulls (1.0 = the complete/global null).
+    effect_sizes:
+        Non-centralities assigned to alternatives at full data.
+    sample_fraction:
+        Fraction of the (conceptual) full data each test sees; scales the
+        non-centrality by ``sqrt(sample_fraction)`` (Exp. 1c's x-axis).
+    support_range:
+        When given, each hypothesis independently draws its support
+        fraction uniformly from this interval instead of using
+        ``sample_fraction`` — heterogeneous supports, the regime the
+        ψ-support rule is built for.
+    """
+
+    m: int
+    null_proportion: float
+    effect_sizes: tuple[float, ...] = PAPER_EFFECT_SIZES
+    sample_fraction: float = 1.0
+    support_range: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise InvalidParameterError(f"m must be >= 1, got {self.m}")
+        if not 0.0 <= self.null_proportion <= 1.0:
+            raise InvalidParameterError(
+                f"null_proportion must be in [0, 1], got {self.null_proportion}"
+            )
+        if not 0.0 < self.sample_fraction <= 1.0:
+            raise InvalidParameterError(
+                f"sample_fraction must be in (0, 1], got {self.sample_fraction}"
+            )
+        if not self.effect_sizes:
+            raise InvalidParameterError("effect_sizes must be non-empty")
+        if self.support_range is not None:
+            lo, hi = self.support_range
+            if not 0.0 < lo <= hi <= 1.0:
+                raise InvalidParameterError(
+                    f"support_range must satisfy 0 < lo <= hi <= 1, got {self.support_range}"
+                )
+
+    def sample(self, seed: SeedLike = None) -> SyntheticStream:
+        """Draw one stream realization."""
+        rng = as_generator(seed)
+        null_mask = _place_nulls(self.m, self.null_proportion, rng)
+        effects = np.zeros(self.m)
+        effects[~null_mask] = _cycle_effects(
+            int((~null_mask).sum()), self.effect_sizes, rng
+        )
+        if self.support_range is not None:
+            lo, hi = self.support_range
+            fractions = rng.uniform(lo, hi, size=self.m)
+        else:
+            fractions = np.full(self.m, self.sample_fraction)
+        z = rng.normal(loc=effects * np.sqrt(fractions), scale=1.0)
+        p_values = 2.0 * _STD_NORMAL.sf(np.abs(z))
+        instances = tuple(
+            HypothesisInstance(
+                p_value=float(p),
+                is_null=bool(is_null),
+                support_fraction=float(f),
+                effect=float(mu),
+            )
+            for p, is_null, f, mu in zip(p_values, null_mask, fractions, effects)
+        )
+        return SyntheticStream(instances)
+
+
+@dataclass(frozen=True)
+class TwoSampleStreamGenerator:
+    """Data-level generator: real normal samples, real Welch t-tests.
+
+    Each hypothesis draws ``n_per_group`` points from N(0, 1) and from
+    N(delta, 1), where delta is chosen so the *full-data* non-centrality
+    matches the corresponding :class:`ZStreamGenerator` effect:
+    ``delta = effect / sqrt(n_per_group / 2)``.  ``sample_fraction``
+    shrinks the per-group sample (minimum 2), reproducing the Exp. 1c
+    regime with actual data.
+    """
+
+    m: int
+    null_proportion: float
+    n_per_group: int = 200
+    effect_sizes: tuple[float, ...] = PAPER_EFFECT_SIZES
+    sample_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise InvalidParameterError(f"m must be >= 1, got {self.m}")
+        if not 0.0 <= self.null_proportion <= 1.0:
+            raise InvalidParameterError(
+                f"null_proportion must be in [0, 1], got {self.null_proportion}"
+            )
+        if self.n_per_group < 2:
+            raise InvalidParameterError(f"n_per_group must be >= 2, got {self.n_per_group}")
+        if not 0.0 < self.sample_fraction <= 1.0:
+            raise InvalidParameterError(
+                f"sample_fraction must be in (0, 1], got {self.sample_fraction}"
+            )
+
+    def sample(self, seed: SeedLike = None) -> SyntheticStream:
+        """Draw one stream realization (slower than :class:`ZStreamGenerator`)."""
+        rng = as_generator(seed)
+        null_mask = _place_nulls(self.m, self.null_proportion, rng)
+        effects = np.zeros(self.m)
+        effects[~null_mask] = _cycle_effects(
+            int((~null_mask).sum()), self.effect_sizes, rng
+        )
+        n_sub = max(2, int(round(self.n_per_group * self.sample_fraction)))
+        fraction = n_sub / self.n_per_group
+        instances = []
+        for j in range(self.m):
+            delta = effects[j] / np.sqrt(self.n_per_group / 2.0)
+            x = rng.normal(0.0, 1.0, size=n_sub)
+            y = rng.normal(delta, 1.0, size=n_sub)
+            result = t_test_two_sample(x, y)
+            instances.append(
+                HypothesisInstance(
+                    p_value=result.p_value,
+                    is_null=bool(null_mask[j]),
+                    support_fraction=float(fraction),
+                    effect=float(effects[j]),
+                )
+            )
+        return SyntheticStream(tuple(instances))

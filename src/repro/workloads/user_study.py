@@ -1,0 +1,249 @@
+"""The Exp. 2 user-study workload: 115 exploration hypotheses in fixed order.
+
+The paper collected 115 hypotheses from a user study on the Census data,
+"mostly formed by comparing histogram distributions by different filtering
+conditions" (Sec. 7.3), and fixed their order across the experiment.  The
+logs were never released, so :func:`make_user_study_workflow` generates a
+deterministic workflow with exactly those properties: a fixed-order mix of
+
+* rule-2 shapes — distribution of a target attribute under a filter vs
+  the whole dataset,
+* rule-3 shapes — target attribute under a filter vs under its negation,
+* mean comparisons (the t-test overrides users perform, step F style),
+
+over the synthetic census schema, with single and compound filters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientDataError, InvalidParameterError
+from repro.exploration.dataset import Dataset
+from repro.exploration.heuristics import (
+    HypothesisKind,
+    HypothesisProposal,
+    evaluate_proposal,
+)
+from repro.exploration.predicate import And, Eq, Not, Predicate, Range
+from repro.exploration.visualization import Visualization
+from repro.rng import SeedLike, as_generator
+from repro.stats.tests import TestResult, t_test_two_sample, z_test_from_statistic
+
+__all__ = ["StepKind", "WorkflowStep", "StepOutcome", "Workflow", "make_user_study_workflow"]
+
+
+class StepKind(enum.Enum):
+    """Shape of one workflow hypothesis."""
+
+    RULE2 = "rule2"
+    RULE3 = "rule3"
+    MEANS = "means"
+
+
+@dataclass(frozen=True)
+class WorkflowStep:
+    """One hypothesis of the fixed-order workflow."""
+
+    kind: StepKind
+    target_attribute: str
+    predicate: Predicate
+
+    def describe(self) -> str:
+        base = f"{self.target_attribute} | {self.predicate.describe()}"
+        if self.kind is StepKind.RULE2:
+            return f"{base} <> {self.target_attribute}"
+        if self.kind is StepKind.RULE3:
+            return f"{base} <> {self.target_attribute} | not(...)"
+        return f"mean {base} <> mean {self.target_attribute} | not(...)"
+
+    def run(self, dataset: Dataset, bin_edges: Mapping[str, np.ndarray]) -> TestResult:
+        """Execute this step's test on *dataset*.
+
+        *bin_edges* maps numeric attribute names to edges computed on the
+        **full** dataset, so down-sampled runs bin identically.
+        """
+        edges = bin_edges.get(self.target_attribute)
+        if self.kind is StepKind.MEANS:
+            mask = self.predicate.mask(dataset)
+            x = dataset.values(self.target_attribute, mask)
+            y = dataset.values(self.target_attribute, ~mask)
+            if len(x) < 2 or len(y) < 2:
+                raise InsufficientDataError(
+                    f"step {self.describe()!r}: too few rows after filtering"
+                )
+            return t_test_two_sample(x, y)
+        target = Visualization(self.target_attribute, self.predicate)
+        if self.kind is StepKind.RULE2:
+            proposal = HypothesisProposal(
+                kind=HypothesisKind.DISTRIBUTION_SHIFT,
+                target=target,
+                reference=None,
+                null_description="",
+                alternative_description="",
+            )
+        else:
+            proposal = HypothesisProposal(
+                kind=HypothesisKind.TWO_SAMPLE,
+                target=target,
+                reference=Visualization(
+                    self.target_attribute, Not(self.predicate).normalize()
+                ),
+                null_description="",
+                alternative_description="",
+            )
+        return evaluate_proposal(proposal, dataset, bin_edges=edges)
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Result of running one step: the test plus support accounting.
+
+    ``degenerate`` marks steps that could not be evaluated on this (small)
+    sample — the filter selected too few rows.  Such steps carry p = 1
+    (no evidence against the null) and a minimal support fraction, which
+    is exactly how an IDE would treat an empty panel.
+    """
+
+    step: WorkflowStep
+    result: TestResult
+    support_fraction: float
+    degenerate: bool = False
+
+    @property
+    def p_value(self) -> float:
+        return self.result.p_value
+
+
+@dataclass(frozen=True)
+class Workflow:
+    """A fixed-order list of steps plus the full-data binning contract."""
+
+    steps: tuple[WorkflowStep, ...]
+    bin_edges: Mapping[str, np.ndarray] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def run(self, dataset: Dataset) -> list[StepOutcome]:
+        """Run every step on *dataset* in order, tolerating empty filters."""
+        outcomes: list[StepOutcome] = []
+        min_fraction = 1.0 / max(1, dataset.n_rows)
+        for step in self.steps:
+            try:
+                result = step.run(dataset, self.bin_edges)
+                fraction = min(1.0, max(min_fraction, result.n_obs / dataset.n_rows))
+                outcomes.append(StepOutcome(step, result, fraction))
+            except InsufficientDataError:
+                fallback = z_test_from_statistic(0.0)
+                outcomes.append(
+                    StepOutcome(step, fallback, min_fraction, degenerate=True)
+                )
+        return outcomes
+
+    def p_values(self, dataset: Dataset) -> np.ndarray:
+        """Convenience: just the ordered p-values of a run."""
+        return np.array([o.p_value for o in self.run(dataset)])
+
+
+def _filter_candidates(dataset: Dataset, min_prevalence: float) -> list[Predicate]:
+    """Enumerate single-column filters with enough support to be plausible."""
+    candidates: list[Predicate] = []
+    n = dataset.n_rows
+    for name in dataset.column_names:
+        if dataset.is_categorical(name):
+            values = dataset.values(name)
+            for category in dataset.categories(name):
+                prevalence = float((values == category).sum()) / n
+                if prevalence >= min_prevalence:
+                    candidates.append(Eq(name, category))
+        else:
+            edges = dataset.numeric_bin_edges(name, bins=4)
+            for lo, hi in zip(edges[:-1], edges[1:]):
+                pred = Range(name, float(lo), float(hi) + 1e-9)
+                prevalence = float(pred.mask(dataset).sum()) / n
+                if prevalence >= min_prevalence:
+                    candidates.append(pred)
+    return candidates
+
+
+def make_user_study_workflow(
+    dataset: Dataset,
+    n_steps: int = 115,
+    seed: SeedLike = 42,
+    rule2_weight: float = 0.5,
+    rule3_weight: float = 0.35,
+    means_weight: float = 0.15,
+    compound_filter_prob: float = 0.2,
+    min_prevalence: float = 0.03,
+) -> Workflow:
+    """Generate the deterministic 115-step user-study workflow.
+
+    The mix of shapes follows the paper's description ("mostly comparing
+    histogram distributions by different filtering conditions"); a fixed
+    *seed* fixes the order, as the paper fixed theirs.  Steps are distinct
+    (no exact duplicates) and filters never reference the target attribute.
+    """
+    if n_steps < 1:
+        raise InvalidParameterError(f"n_steps must be >= 1, got {n_steps}")
+    weights = np.array([rule2_weight, rule3_weight, means_weight], dtype=float)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise InvalidParameterError("step-kind weights must be non-negative, sum > 0")
+    weights = weights / weights.sum()
+    rng = as_generator(seed)
+    filters = _filter_candidates(dataset, min_prevalence)
+    if not filters:
+        raise InvalidParameterError("no usable filter candidates; lower min_prevalence")
+    categorical_targets = [n for n in dataset.column_names if dataset.is_categorical(n)]
+    numeric_targets = [n for n in dataset.column_names if not dataset.is_categorical(n)]
+    all_targets = categorical_targets + numeric_targets
+
+    steps: list[WorkflowStep] = []
+    seen: set[str] = set()
+    attempts = 0
+    max_attempts = n_steps * 200
+    while len(steps) < n_steps:
+        attempts += 1
+        if attempts > max_attempts:
+            raise InvalidParameterError(
+                f"could not assemble {n_steps} distinct steps; got {len(steps)}"
+            )
+        kind = StepKind(
+            ("rule2", "rule3", "means")[rng.choice(3, p=weights)]
+        )
+        if kind is StepKind.MEANS:
+            if not numeric_targets:
+                continue
+            target = numeric_targets[rng.integers(len(numeric_targets))]
+        else:
+            target = all_targets[rng.integers(len(all_targets))]
+        usable = [f for f in filters if target not in f.columns()]
+        if not usable:
+            continue
+        predicate: Predicate = usable[rng.integers(len(usable))]
+        if rng.random() < compound_filter_prob:
+            second_pool = [
+                f
+                for f in usable
+                if f.columns() != predicate.columns()
+            ]
+            if second_pool:
+                predicate = And(
+                    (predicate, second_pool[rng.integers(len(second_pool))])
+                ).normalize()
+        step = WorkflowStep(kind=kind, target_attribute=target, predicate=predicate)
+        key = f"{kind.value}::{step.describe()}"
+        if key in seen:
+            continue
+        seen.add(key)
+        steps.append(step)
+
+    edges = {
+        name: dataset.numeric_bin_edges(name, bins=10)
+        for name in numeric_targets
+    }
+    return Workflow(steps=tuple(steps), bin_edges=edges)

@@ -1,0 +1,56 @@
+"""CLI: parsing, command dispatch, output sanity."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_exp_flags(self):
+        args = build_parser().parse_args(["exp1a", "--reps", "50", "--alpha", "0.1"])
+        assert args.command == "exp1a"
+        assert args.reps == 50
+        assert args.alpha == 0.1
+
+    def test_exp2_specific_flags(self):
+        args = build_parser().parse_args(
+            ["exp2", "--rows", "5000", "--steps", "40", "--no-randomized"]
+        )
+        assert args.rows == 5000
+        assert args.no_randomized
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestCommands:
+    def test_motivating(self, capsys):
+        assert main(["motivating", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "12.50" in out
+        assert "0.098" in out
+
+    def test_holdout(self, capsys):
+        assert main(["holdout", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "0.989" in out
+        assert "0.764" in out
+
+    def test_exp1a_quick(self, capsys):
+        assert main(["exp1a", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "bonferroni" in out
+
+    def test_seed_override(self, capsys):
+        assert main(["exp1a", "--quick", "--seed", "9"]) == 0
+        first = capsys.readouterr().out
+        assert main(["exp1a", "--quick", "--seed", "9"]) == 0
+        second = capsys.readouterr().out
+        assert first == second

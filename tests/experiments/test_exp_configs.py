@@ -1,0 +1,98 @@
+"""Reduced-repetition runs of every figure configuration (structure checks).
+
+Qualitative *shape* assertions live in tests/integration/test_figure_shapes.py;
+these tests only verify that each experiment produces a complete, well-formed
+FigureResult quickly.
+"""
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_INCREMENTAL_PROCEDURES,
+    render_figure,
+    run_exp1a,
+    run_exp1b,
+    run_exp1c,
+    run_exp2,
+)
+
+
+@pytest.fixture(scope="module")
+def exp1a():
+    return run_exp1a(m_values=(4, 16), null_proportions=(0.75, 1.0), n_reps=30, seed=1)
+
+
+class TestExp1a:
+    def test_panels(self, exp1a):
+        assert exp1a.panels() == ["75% Null", "100% Null"]
+
+    def test_procedures(self, exp1a):
+        assert exp1a.procedures() == ["pcer", "bonferroni", "bhfdr"]
+
+    def test_complete_grid(self, exp1a):
+        assert len(exp1a.cells) == 2 * 2 * 3
+
+    def test_renders(self, exp1a):
+        text = render_figure(exp1a)
+        assert "Figure 3" in text
+        assert "100% Null: Avg. Power" not in text  # nan panel skipped
+
+
+class TestExp1b:
+    def test_structure(self):
+        result = run_exp1b(m_values=(8,), null_proportions=(0.25,), n_reps=20, seed=2)
+        assert result.procedures() == list(DEFAULT_INCREMENTAL_PROCEDURES)
+        assert len(result.cells) == len(DEFAULT_INCREMENTAL_PROCEDURES)
+
+    def test_custom_procedures(self):
+        result = run_exp1b(
+            m_values=(4,), null_proportions=(1.0,), procedures=("pcer", "gamma-fixed"),
+            n_reps=10, seed=3,
+        )
+        assert result.procedures() == ["pcer", "gamma-fixed"]
+
+
+class TestExp1c:
+    def test_x_axis_is_sample_fraction(self):
+        result = run_exp1c(
+            sample_fractions=(0.1, 0.9), null_proportions=(0.25,), n_reps=15, seed=4
+        )
+        assert result.xs("25% Null") == [0.1, 0.9]
+        assert result.x_label == "sample size"
+
+
+class TestExp2:
+    @pytest.fixture(scope="class")
+    def exp2(self):
+        return run_exp2(
+            sample_fractions=(0.3, 0.7),
+            n_reps=4,
+            n_rows=5_000,
+            n_steps=40,
+            seed=5,
+        )
+
+    def test_panels(self, exp2):
+        assert exp2.panels() == ["Census", "Randomized Census"]
+
+    def test_complete_grid(self, exp2):
+        assert len(exp2.cells) == 2 * 2 * len(DEFAULT_INCREMENTAL_PROCEDURES)
+
+    def test_randomized_power_is_nan(self, exp2):
+        import math
+
+        s = exp2.get("Randomized Census", 0.3, "gamma-fixed")
+        assert math.isnan(s.avg_power)
+
+    def test_census_panel_has_power(self, exp2):
+        import math
+
+        s = exp2.get("Census", 0.7, "gamma-fixed")
+        assert not math.isnan(s.avg_power)
+
+    def test_skip_randomized(self):
+        result = run_exp2(
+            sample_fractions=(0.5,), n_reps=2, n_rows=3_000, n_steps=20,
+            include_randomized=False, seed=6,
+        )
+        assert result.panels() == ["Census"]

@@ -1,0 +1,94 @@
+"""Metrics: counting, FDR/power conventions, CI arithmetic."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.metrics import (
+    MetricSummary,
+    RunMetrics,
+    evaluate_mask,
+    summarize_runs,
+)
+
+
+class TestEvaluateMask:
+    def test_counts(self):
+        rejected = [True, True, False, True, False]
+        nulls = [True, False, False, False, True]
+        m = evaluate_mask(rejected, nulls)
+        assert m.discoveries == 3
+        assert m.false_discoveries == 1
+        assert m.true_discoveries == 2
+        assert m.num_alternatives == 3
+
+    def test_fdr_convention_zero_over_zero(self):
+        m = evaluate_mask([False, False], [True, True])
+        assert m.fdr == 0.0
+
+    def test_fdr_value(self):
+        m = evaluate_mask([True, True], [True, False])
+        assert m.fdr == pytest.approx(0.5)
+
+    def test_power_nan_under_complete_null(self):
+        m = evaluate_mask([True, False], [True, True])
+        assert math.isnan(m.power)
+
+    def test_power_value(self):
+        m = evaluate_mask([True, False, True], [False, False, True])
+        assert m.power == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            evaluate_mask([True], [True, False])
+
+
+class TestSummarize:
+    def test_means_and_cis(self):
+        runs = [
+            RunMetrics(discoveries=2, false_discoveries=1, true_discoveries=1,
+                       num_alternatives=4),
+            RunMetrics(discoveries=4, false_discoveries=0, true_discoveries=4,
+                       num_alternatives=4),
+        ]
+        s = summarize_runs(runs)
+        assert s.n_runs == 2
+        assert s.avg_discoveries == pytest.approx(3.0)
+        assert s.avg_fdr == pytest.approx(0.25)
+        assert s.avg_power == pytest.approx((0.25 + 1.0) / 2)
+        expected_ci = 1.96 * np.std([2, 4], ddof=1) / np.sqrt(2)
+        assert s.ci_discoveries == pytest.approx(expected_ci)
+
+    def test_power_skips_complete_null_runs(self):
+        runs = [
+            RunMetrics(1, 1, 0, num_alternatives=0),
+            RunMetrics(2, 0, 2, num_alternatives=2),
+        ]
+        s = summarize_runs(runs)
+        assert s.avg_power == pytest.approx(1.0)
+
+    def test_all_null_runs_power_nan(self):
+        runs = [RunMetrics(1, 1, 0, num_alternatives=0)]
+        s = summarize_runs(runs)
+        assert math.isnan(s.avg_power)
+
+    def test_single_run_ci_nan(self):
+        s = summarize_runs([RunMetrics(1, 0, 1, 2)])
+        assert math.isnan(s.ci_discoveries)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            summarize_runs([])
+
+
+class TestFormatting:
+    def test_format_cell(self):
+        s = MetricSummary(
+            n_runs=10, avg_discoveries=3.14159, ci_discoveries=0.5,
+            avg_fdr=0.0423, ci_fdr=0.01, avg_power=float("nan"), ci_power=float("nan"),
+        )
+        assert s.format_cell("discoveries") == "3.142±0.500"
+        assert s.format_cell("fdr", digits=2) == "0.04±0.01"
+        assert s.format_cell("power") == "-"

@@ -1,0 +1,66 @@
+"""Sec. 1 motivating arithmetic and Sec. 4.1 hold-out analysis."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.holdout import holdout_analysis, simulate_holdout
+from repro.experiments.motivating import (
+    expected_discoveries,
+    false_discovery_inflation,
+    simulate_motivating_example,
+)
+
+
+class TestMotivatingArithmetic:
+    def test_paper_numbers(self):
+        exp = expected_discoveries(m=100, true_alternatives=10, power=0.8, alpha=0.05)
+        assert exp.expected_discoveries == pytest.approx(12.5)
+        assert exp.expected_false_discoveries == pytest.approx(4.5)
+        assert exp.bogus_fraction == pytest.approx(0.36)
+
+    def test_inflation_paper_values(self):
+        assert false_discovery_inflation(2) == pytest.approx(0.0975, abs=5e-4)
+        assert false_discovery_inflation(4) == pytest.approx(0.1855, abs=5e-4)
+
+    def test_inflation_edge_cases(self):
+        assert false_discovery_inflation(0) == 0.0
+        assert false_discovery_inflation(1) == pytest.approx(0.05)
+        with pytest.raises(InvalidParameterError):
+            false_discovery_inflation(-1)
+
+    def test_alternatives_bounded_by_m(self):
+        with pytest.raises(InvalidParameterError):
+            expected_discoveries(m=5, true_alternatives=6)
+
+    def test_simulation_matches_closed_form(self):
+        sim = simulate_motivating_example(n_reps=600, seed=11)
+        assert sim.avg_discoveries == pytest.approx(12.5, abs=0.5)
+        assert sim.avg_fdr == pytest.approx(0.36, abs=0.04)
+
+
+class TestHoldoutAnalysis:
+    def test_paper_numbers(self):
+        a = holdout_analysis()
+        assert a.power_full == pytest.approx(0.99, abs=0.005)
+        assert a.power_half == pytest.approx(0.87, abs=0.01)
+        assert a.power_holdout == pytest.approx(0.76, abs=0.01)
+        assert a.type1_holdout == pytest.approx(0.0025)
+        assert a.inflation_25_tests == pytest.approx(0.0607, abs=1e-3)
+
+    def test_power_loss_positive(self):
+        assert holdout_analysis().power_loss() > 0.2
+
+    def test_simulated_power_matches_closed_form(self):
+        sim = simulate_holdout(n_reps=500, seed=7)
+        analysis = holdout_analysis()
+        assert sim["full"] == pytest.approx(analysis.power_full, abs=0.03)
+        assert sim["holdout"] == pytest.approx(analysis.power_holdout, abs=0.05)
+
+    def test_simulated_type1_shrinks_under_holdout(self):
+        sim = simulate_holdout(n_reps=800, under_null=True, seed=13)
+        assert sim["full"] == pytest.approx(0.05, abs=0.03)
+        assert sim["holdout"] <= 0.02
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            simulate_holdout(n_reps=0)

@@ -1,0 +1,70 @@
+"""Figure results and table rendering."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.metrics import MetricSummary
+from repro.experiments.reporting import (
+    FigureResult,
+    PanelCell,
+    render_figure,
+    render_panel_table,
+)
+
+
+def summary(d=1.0, f=0.05, p=0.5):
+    return MetricSummary(
+        n_runs=10, avg_discoveries=d, ci_discoveries=0.1,
+        avg_fdr=f, ci_fdr=0.01, avg_power=p, ci_power=0.02,
+    )
+
+
+@pytest.fixture()
+def figure():
+    cells = []
+    for panel in ("75% Null", "100% Null"):
+        for x in (4.0, 8.0):
+            for proc in ("pcer", "bhfdr"):
+                p = float("nan") if panel == "100% Null" else 0.5
+                cells.append(PanelCell(panel, x, proc, summary(p=p)))
+    return FigureResult(figure="Figure T", x_label="m", cells=tuple(cells))
+
+
+class TestFigureResult:
+    def test_panels_in_order(self, figure):
+        assert figure.panels() == ["75% Null", "100% Null"]
+
+    def test_procedures_in_order(self, figure):
+        assert figure.procedures() == ["pcer", "bhfdr"]
+
+    def test_xs_sorted(self, figure):
+        assert figure.xs("75% Null") == [4.0, 8.0]
+
+    def test_get_cell(self, figure):
+        assert figure.get("75% Null", 4.0, "pcer").avg_fdr == 0.05
+
+    def test_get_missing_cell(self, figure):
+        with pytest.raises(InvalidParameterError):
+            figure.get("75% Null", 99.0, "pcer")
+
+
+class TestRendering:
+    def test_panel_table_contains_all_cells(self, figure):
+        text = render_panel_table(figure, "75% Null", "fdr")
+        assert "pcer" in text and "bhfdr" in text
+        assert text.count("0.050±0.010") == 4
+
+    def test_unknown_metric_rejected(self, figure):
+        with pytest.raises(InvalidParameterError):
+            render_panel_table(figure, "75% Null", "accuracy")
+
+    def test_render_figure_skips_all_nan_power_panels(self, figure):
+        text = render_figure(figure)
+        assert "75% Null: Avg. Power" in text
+        assert "100% Null: Avg. Power" not in text
+
+    def test_percentage_x_formatting(self):
+        cells = (PanelCell("P", 0.3, "pcer", summary()),)
+        fig = FigureResult("F", "sample size", cells)
+        text = render_panel_table(fig, "P", "fdr")
+        assert "30%" in text

@@ -1,0 +1,113 @@
+"""Session export: dict/JSON snapshots, round trip, Markdown report."""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.exploration.export import (
+    load_session_records,
+    save_session,
+    session_report_markdown,
+    session_to_dict,
+    session_to_json,
+)
+from repro.exploration.predicate import Eq, Not
+from repro.exploration.session import ExplorationSession
+
+
+@pytest.fixture()
+def session(census):
+    s = ExplorationSession(census, procedure="epsilon-hybrid", alpha=0.05)
+    s.show("sex", where=Eq("salary_over_50k", "True"))
+    s.show("sex", where=Not(Eq("salary_over_50k", "True")))  # supersedes
+    s.show("race", where=Eq("workclass", "Private"))
+    s.star(2)
+    return s
+
+
+class TestSessionToDict:
+    def test_top_level_fields(self, session):
+        payload = session_to_dict(session)
+        assert payload["procedure"] == "epsilon-hybrid"
+        assert payload["alpha"] == 0.05
+        assert payload["num_tested"] == 2  # superseded one replaced
+        assert payload["dataset"] == session.dataset.name
+        assert isinstance(payload["wealth"], float)
+
+    def test_hypothesis_records_complete(self, session):
+        payload = session_to_dict(session)
+        assert len(payload["hypotheses"]) == 3  # incl. superseded
+        by_id = {h["id"]: h for h in payload["hypotheses"]}
+        assert by_id[1]["status"] == "superseded"
+        assert by_id[1]["superseded_by"] == 2
+        assert by_id[2]["starred"] is True
+        for record in payload["hypotheses"]:
+            assert set(record) >= {
+                "id", "kind", "null", "alternative", "test", "p_value",
+                "level", "rejected", "status", "effect_size", "data_to_flip",
+            }
+
+    def test_json_serializable(self, session):
+        text = session_to_json(session)
+        parsed = json.loads(text)
+        assert parsed["schema_version"] == 1
+
+    def test_nan_inf_sanitized(self, census):
+        s = ExplorationSession(census, procedure="gamma-fixed", alpha=0.05, gamma=1.0)
+        # Exhaust immediately, producing level-0 decisions with nan flips.
+        s.show("race", where=Eq("workclass", "Private"))
+        s.show("race", where=Eq("workclass", "Government"))
+        s.show("race", where=Eq("workclass", "SelfEmployed"))
+        json.loads(session_to_json(s))  # must not raise
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, session, tmp_path):
+        path = save_session(session, tmp_path / "session.json")
+        records = load_session_records(path)
+        assert records["num_tested"] == 2
+        assert len(records["hypotheses"]) == 3
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 99}), encoding="utf-8")
+        with pytest.raises(InvalidParameterError):
+            load_session_records(path)
+
+    def test_load_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 1}), encoding="utf-8")
+        with pytest.raises(InvalidParameterError):
+            load_session_records(path)
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(InvalidParameterError):
+            load_session_records(path)
+
+
+class TestMarkdownReport:
+    def test_sections_present(self, session):
+        report = session_report_markdown(session)
+        assert "# AWARE session report" in report
+        assert "## Important discoveries" in report
+        assert "## Full hypothesis trail" in report
+        assert "epsilon-hybrid" in report
+
+    def test_starred_discovery_listed(self, session):
+        report = session_report_markdown(session)
+        starred = session.history()[1]  # id 2
+        assert starred.alternative_description in report
+
+    def test_empty_session_report(self, census):
+        s = ExplorationSession(census, procedure="gamma-fixed")
+        report = session_report_markdown(s)
+        assert "*(none)*" in report
+
+    def test_exhaustion_banner(self, census):
+        s = ExplorationSession(census, procedure="gamma-fixed", alpha=0.05, gamma=1.0)
+        s.show("race", where=Eq("workclass", "Private"))
+        s.show("race", where=Eq("workclass", "Government"))
+        assert "exhausted" in session_report_markdown(s)

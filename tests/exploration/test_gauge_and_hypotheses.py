@@ -1,0 +1,127 @@
+"""TrackedHypothesis records and the RiskGauge snapshot."""
+
+import math
+
+import pytest
+
+from repro.exploration.gauge import GaugeEntry, RiskGauge
+from repro.exploration.hypotheses import HypothesisStatus, TrackedHypothesis
+from repro.procedures.base import Decision
+from repro.stats.effect_size import EffectMagnitude
+from repro.stats.tests import chi_square_gof, z_test_from_statistic
+
+
+def make_hypothesis(p_value=0.001, level=0.01, rejected=True, statistic=3.3):
+    result = z_test_from_statistic(statistic)
+    decision = Decision(
+        index=0, p_value=result.p_value, level=level, rejected=rejected,
+        wealth_before=0.05, wealth_after=0.09 if rejected else 0.04,
+    )
+    return TrackedHypothesis(
+        hypothesis_id=1,
+        kind="rule2-distribution-shift",
+        null_description="A = B",
+        alternative_description="A <> B",
+        result=result,
+        decision=decision,
+        support_fraction=0.5,
+    )
+
+
+class TestTrackedHypothesis:
+    def test_accessors(self):
+        hyp = make_hypothesis()
+        assert hyp.rejected
+        assert hyp.p_value == hyp.result.p_value
+        assert hyp.status is HypothesisStatus.ACTIVE
+
+    def test_data_to_flip_rejected_direction(self):
+        hyp = make_hypothesis(rejected=True, statistic=5.0, level=0.05)
+        flip = hyp.data_to_flip()
+        assert flip > 0  # needs added null data to undo
+
+    def test_data_to_flip_accepted_direction(self):
+        hyp = make_hypothesis(rejected=False, statistic=1.0, level=0.05)
+        assert hyp.data_to_flip() > 0  # needs more data to become significant
+
+    def test_data_to_flip_nan_at_zero_level(self):
+        result = z_test_from_statistic(1.0)
+        decision = Decision(index=0, p_value=result.p_value, level=0.0,
+                            rejected=False, exhausted=True)
+        hyp = TrackedHypothesis(
+            hypothesis_id=2, kind="explicit", null_description="n",
+            alternative_description="a", result=result, decision=decision,
+            support_fraction=1.0,
+        )
+        assert math.isnan(hyp.data_to_flip())
+
+    def test_effect_magnitude_chi_square_uses_w_bands(self):
+        result = chi_square_gof([70, 30], [0.5, 0.5])  # w = 0.4 -> medium
+        decision = Decision(index=0, p_value=result.p_value, level=0.05,
+                            rejected=True)
+        hyp = TrackedHypothesis(
+            hypothesis_id=3, kind="explicit", null_description="n",
+            alternative_description="a", result=result, decision=decision,
+            support_fraction=1.0,
+        )
+        assert hyp.effect_magnitude is EffectMagnitude.MEDIUM
+
+    def test_with_helpers_are_copies(self):
+        hyp = make_hypothesis()
+        superseded = hyp.with_status(HypothesisStatus.SUPERSEDED, superseded_by=9)
+        starred = hyp.with_star(True)
+        assert hyp.status is HypothesisStatus.ACTIVE
+        assert superseded.superseded_by == 9
+        assert starred.starred and not hyp.starred
+
+    def test_describe_mentions_verdict(self):
+        assert "REJECTED" in make_hypothesis(rejected=True).describe()
+        assert "accepted" in make_hypothesis(rejected=False, statistic=0.5).describe()
+
+
+class TestGaugeEntry:
+    def test_from_hypothesis(self):
+        entry = GaugeEntry.from_hypothesis(make_hypothesis())
+        assert entry.hypothesis_id == 1
+        assert entry.rejected
+        assert entry.test_name == "z-test"
+        assert entry.status == "active"
+
+    def test_squares_rendering(self):
+        entry = GaugeEntry.from_hypothesis(make_hypothesis(statistic=3.0))
+        squares = entry.squares()
+        assert "▪" in squares
+
+    def test_squares_overflow_marker(self):
+        entry = GaugeEntry.from_hypothesis(make_hypothesis(statistic=30.0))
+        assert entry.squares().endswith("+")
+
+    def test_render_contains_labels(self):
+        text = GaugeEntry.from_hypothesis(make_hypothesis()).render()
+        assert "A <> B" in text and "green" in text
+
+
+class TestRiskGauge:
+    def make_gauge(self, wealth=0.02):
+        return RiskGauge(
+            alpha=0.05, wealth=wealth, initial_wealth=0.0475,
+            procedure_name="epsilon-hybrid", num_tested=3, num_discoveries=1,
+            exhausted=wealth == 0.0,
+            entries=(GaugeEntry.from_hypothesis(make_hypothesis()),),
+        )
+
+    def test_wealth_fraction(self):
+        assert self.make_gauge(0.0475).wealth_fraction == pytest.approx(1.0)
+        assert self.make_gauge(0.0).wealth_fraction == 0.0
+        # Wealth can exceed W(0) after rejections; the dial clamps at 1.
+        assert self.make_gauge(0.2).wealth_fraction == 1.0
+
+    def test_render_panel(self):
+        text = self.make_gauge().render()
+        assert "epsilon-hybrid" in text
+        assert "alpha-wealth" in text
+        assert "discoveries: 1" in text
+
+    def test_exhausted_banner(self):
+        assert "exhausted" in self.make_gauge(0.0).render()
+        assert "exhausted" not in self.make_gauge(0.02).render()

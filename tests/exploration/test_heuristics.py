@@ -1,0 +1,117 @@
+"""The Sec. 2.3 default-hypothesis heuristics, rules 1-3."""
+
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.exploration.heuristics import (
+    HypothesisKind,
+    evaluate_proposal,
+    propose_hypothesis,
+)
+from repro.exploration.predicate import And, Eq, Not
+from repro.exploration.visualization import Visualization, chain
+
+
+class TestRule1:
+    def test_unfiltered_panel_is_not_a_hypothesis(self):
+        assert propose_hypothesis(Visualization("sex")) is None
+
+    def test_trivially_filtered_panel_is_not_a_hypothesis(self):
+        viz = Visualization("sex", And(()))
+        assert propose_hypothesis(viz) is None
+
+
+class TestRule2:
+    def test_filtered_panel_proposes_distribution_shift(self):
+        viz = Visualization("sex", Eq("salary_over_50k", "True"))
+        proposal = propose_hypothesis(viz)
+        assert proposal is not None
+        assert proposal.kind is HypothesisKind.DISTRIBUTION_SHIFT
+        assert proposal.reference is None
+        assert not proposal.supersedes_reference
+        assert "sex" in proposal.null_description
+
+    def test_chain_filters_still_rule2(self):
+        viz = chain("salary_over_50k", Eq("education", "PhD"),
+                    Not(Eq("marital_status", "Married")))
+        proposal = propose_hypothesis(viz)
+        assert proposal.kind is HypothesisKind.DISTRIBUTION_SHIFT
+
+
+class TestRule3:
+    def test_negated_sibling_triggers_two_sample(self):
+        first = Visualization("sex", Eq("salary_over_50k", "True"))
+        second = Visualization("sex", Not(Eq("salary_over_50k", "True")))
+        proposal = propose_hypothesis(second, canvas=[first])
+        assert proposal.kind is HypothesisKind.TWO_SAMPLE
+        assert proposal.reference == first.normalized()
+        assert proposal.supersedes_reference
+
+    def test_most_recent_sibling_wins(self):
+        a1 = Visualization("sex", Eq("education", "PhD"))
+        a2 = Visualization("sex", Eq("salary_over_50k", "True"))
+        target = Visualization("sex", Not(Eq("salary_over_50k", "True")))
+        proposal = propose_hypothesis(target, canvas=[a1, a2])
+        assert proposal.reference == a2.normalized()
+
+    def test_different_attribute_does_not_trigger(self):
+        first = Visualization("age", Eq("salary_over_50k", "True"))
+        second = Visualization("sex", Not(Eq("salary_over_50k", "True")))
+        proposal = propose_hypothesis(second, canvas=[first])
+        assert proposal.kind is HypothesisKind.DISTRIBUTION_SHIFT
+
+    def test_non_complementary_filter_does_not_trigger(self):
+        first = Visualization("sex", Eq("education", "PhD"))
+        second = Visualization("sex", Eq("education", "HS"))
+        proposal = propose_hypothesis(second, canvas=[first])
+        assert proposal.kind is HypothesisKind.DISTRIBUTION_SHIFT
+
+    def test_unfiltered_pair_does_not_trigger(self):
+        first = Visualization("sex")
+        second = Visualization("sex")
+        assert propose_hypothesis(second, canvas=[first]) is None
+
+
+class TestEvaluation:
+    def test_rule2_detects_planted_dependency(self, census):
+        viz = Visualization("sex", Eq("salary_over_50k", "True"))
+        proposal = propose_hypothesis(viz)
+        result = evaluate_proposal(proposal, census)
+        assert result.name == "chi-square-gof"
+        assert result.p_value < 1e-6  # sex->salary is planted
+
+    def test_rule2_accepts_independent_attribute(self, census):
+        viz = Visualization("race", Eq("salary_over_50k", "True"))
+        proposal = propose_hypothesis(viz)
+        result = evaluate_proposal(proposal, census)
+        assert result.p_value > 0.001  # race is independent by construction
+
+    def test_rule3_two_sample(self, census):
+        first = Visualization("sex", Eq("salary_over_50k", "True"))
+        second = Visualization("sex", Not(Eq("salary_over_50k", "True")))
+        proposal = propose_hypothesis(second, canvas=[first])
+        result = evaluate_proposal(proposal, census)
+        assert result.name == "chi-square-two-sample"
+        assert result.p_value < 1e-6
+
+    def test_numeric_target_uses_bin_edges(self, census):
+        edges = census.numeric_bin_edges("age", bins=10)
+        viz = Visualization("age", Eq("marital_status", "Married"))
+        proposal = propose_hypothesis(viz)
+        result = evaluate_proposal(proposal, census, bin_edges=edges)
+        assert result.p_value < 1e-6  # age->marital is planted
+
+    def test_empty_filter_raises(self, census):
+        viz = Visualization(
+            "sex", Eq("education", "PhD") & Not(Eq("education", "PhD"))
+        )
+        proposal = propose_hypothesis(viz)
+        with pytest.raises(InsufficientDataError):
+            evaluate_proposal(proposal, census)
+
+    def test_support_is_filtered_population(self, census):
+        viz = Visualization("sex", Eq("education", "PhD"))
+        proposal = propose_hypothesis(viz)
+        result = evaluate_proposal(proposal, census)
+        expected = int((census.values("education") == "PhD").sum())
+        assert result.n_obs == expected

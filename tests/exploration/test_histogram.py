@@ -1,0 +1,88 @@
+"""Histograms: alignment, conservation, binning contracts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError, InvalidParameterError
+from repro.exploration.histogram import (
+    categorical_histogram,
+    histogram_for,
+    numeric_histogram,
+)
+from repro.exploration.predicate import Eq, Not
+
+
+class TestCategoricalHistogram:
+    def test_counts_whole_dataset(self, tiny_dataset):
+        hist = categorical_histogram(tiny_dataset, "color")
+        assert hist.as_dict() == {"blue": 5, "green": 2, "red": 5}
+        assert hist.support == 12
+
+    def test_filtered_keeps_category_universe(self, tiny_dataset):
+        hist = categorical_histogram(tiny_dataset, "color", Eq("flag", True))
+        assert set(hist.labels) == {"blue", "green", "red"}
+        assert hist.support == 6
+
+    def test_counts_conserved_under_complementary_filters(self, tiny_dataset):
+        full = categorical_histogram(tiny_dataset, "color")
+        yes = categorical_histogram(tiny_dataset, "color", Eq("flag", True))
+        no = categorical_histogram(tiny_dataset, "color", Not(Eq("flag", True)))
+        for label in full.labels:
+            assert yes.as_dict()[label] + no.as_dict()[label] == full.as_dict()[label]
+
+    def test_numeric_attribute_rejected(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            categorical_histogram(tiny_dataset, "size")
+
+    def test_proportions_sum_to_one(self, tiny_dataset):
+        hist = categorical_histogram(tiny_dataset, "color")
+        assert hist.proportions().sum() == pytest.approx(1.0)
+
+    def test_empty_histogram_proportions_raise(self, tiny_dataset):
+        hist = categorical_histogram(
+            tiny_dataset, "color", Eq("flag", True) & Eq("flag", False)
+        )
+        assert hist.support == 0
+        with pytest.raises(InsufficientDataError):
+            hist.proportions()
+
+
+class TestNumericHistogram:
+    def test_fixed_edges_alignment(self, tiny_dataset):
+        edges = tiny_dataset.numeric_bin_edges("size", bins=4)
+        full = numeric_histogram(tiny_dataset, "size", edges)
+        filtered = numeric_histogram(tiny_dataset, "size", edges, Eq("flag", True))
+        assert full.labels == filtered.labels
+        assert full.support == 12
+        assert filtered.support == 6
+
+    def test_counts_cover_all_rows(self, tiny_dataset):
+        edges = tiny_dataset.numeric_bin_edges("size", bins=5)
+        hist = numeric_histogram(tiny_dataset, "size", edges)
+        assert sum(hist.counts) == 12
+
+    def test_categorical_attribute_rejected(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            numeric_histogram(tiny_dataset, "color", np.array([0.0, 1.0, 2.0]))
+
+    def test_too_few_edges_rejected(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            numeric_histogram(tiny_dataset, "size", np.array([0.0, 1.0]))
+
+
+class TestDispatch:
+    def test_histogram_for_dispatches(self, tiny_dataset):
+        cat = histogram_for(tiny_dataset, "color")
+        num = histogram_for(tiny_dataset, "size", bins=3)
+        assert cat.labels == ("blue", "green", "red")
+        assert len(num.labels) == 3
+
+    def test_render_contains_counts(self, tiny_dataset):
+        text = histogram_for(tiny_dataset, "color").render()
+        assert "red" in text and "5" in text
+
+    def test_mismatched_labels_counts_rejected(self):
+        from repro.exploration.histogram import Histogram
+
+        with pytest.raises(InvalidParameterError):
+            Histogram(attribute="x", labels=("a",), counts=(1, 2))

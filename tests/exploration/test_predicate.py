@@ -1,0 +1,144 @@
+"""Predicate algebra: masks, normalization, complement detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredicateError
+from repro.exploration.predicate import TRUE, And, Eq, In, Not, Or, Range
+
+
+class TestMasks:
+    def test_true_matches_all(self, tiny_dataset):
+        assert TRUE.mask(tiny_dataset).all()
+
+    def test_eq(self, tiny_dataset):
+        mask = Eq("color", "red").mask(tiny_dataset)
+        assert mask.sum() == 5
+
+    def test_eq_unknown_category_rejected(self, tiny_dataset):
+        with pytest.raises(PredicateError):
+            Eq("color", "purple").mask(tiny_dataset)
+
+    def test_in(self, tiny_dataset):
+        mask = In("color", ["red", "green"]).mask(tiny_dataset)
+        assert mask.sum() == 7
+
+    def test_in_unknown_category_rejected(self, tiny_dataset):
+        with pytest.raises(PredicateError):
+            In("color", ["red", "purple"]).mask(tiny_dataset)
+
+    def test_range_half_open(self, tiny_dataset):
+        mask = Range("size", 2.0, 5.0).mask(tiny_dataset)
+        np.testing.assert_array_equal(
+            tiny_dataset.values("size", mask), [2.0, 3.0, 4.0]
+        )
+
+    def test_range_on_categorical_rejected(self, tiny_dataset):
+        with pytest.raises(PredicateError):
+            Range("color", 0, 1).mask(tiny_dataset)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(PredicateError):
+            Range("size", 5.0, 5.0)
+
+    def test_not(self, tiny_dataset):
+        mask = Not(Eq("color", "red")).mask(tiny_dataset)
+        assert mask.sum() == 7
+
+    def test_and(self, tiny_dataset):
+        # red rows are 0,1,6,9,11; flag=True rows are the even indices;
+        # the intersection is rows 0 and 6.
+        pred = And((Eq("color", "red"), Eq("flag", True)))
+        assert pred.mask(tiny_dataset).sum() == 2
+
+    def test_or(self, tiny_dataset):
+        pred = Or((Eq("color", "green"), Eq("flag", True)))
+        assert pred.mask(tiny_dataset).sum() == 7
+
+    def test_operator_sugar(self, tiny_dataset):
+        a = Eq("color", "red") & Eq("flag", True)
+        b = And((Eq("color", "red"), Eq("flag", True)))
+        np.testing.assert_array_equal(a.mask(tiny_dataset), b.mask(tiny_dataset))
+        inverted = ~Eq("color", "red")
+        np.testing.assert_array_equal(
+            inverted.mask(tiny_dataset), ~Eq("color", "red").mask(tiny_dataset)
+        )
+
+
+class TestNormalization:
+    def test_double_negation_cancels(self):
+        p = Eq("x", 1)
+        assert Not(Not(p)).normalize() == p
+
+    def test_nested_and_flattens(self):
+        p = And((And((Eq("a", 1), Eq("b", 2))), Eq("c", 3))).normalize()
+        assert isinstance(p, And)
+        assert len(p.operands) == 3
+
+    def test_and_with_true_drops_it(self):
+        p = And((TRUE, Eq("a", 1))).normalize()
+        assert p == Eq("a", 1)
+
+    def test_empty_and_is_true(self):
+        assert And(()).normalize().is_trivial()
+
+    def test_or_with_true_is_true(self):
+        assert Or((TRUE, Eq("a", 1))).normalize().is_trivial()
+
+    def test_and_order_insensitive_equality(self):
+        a = And((Eq("a", 1), Eq("b", 2))).normalize()
+        b = And((Eq("b", 2), Eq("a", 1))).normalize()
+        assert a == b
+
+    def test_duplicate_operands_deduplicated(self):
+        p = And((Eq("a", 1), Eq("a", 1))).normalize()
+        assert p == Eq("a", 1)
+
+
+class TestComplementDetection:
+    def test_not_is_complement(self):
+        p = Eq("salary", "high")
+        assert Not(p).is_complement_of(p)
+        assert p.is_complement_of(Not(p))
+
+    def test_double_negation_complement(self):
+        p = Eq("salary", "high")
+        assert Not(Not(Not(p))).is_complement_of(p)
+
+    def test_unrelated_not_complement(self):
+        assert not Eq("a", 1).is_complement_of(Eq("a", 2))
+        assert not Eq("a", 1).is_complement_of(Eq("b", 1))
+
+    def test_compound_complement(self):
+        chain = And((Eq("edu", "PhD"), Not(Eq("marital", "Married")))).normalize()
+        assert Not(chain).normalize().is_complement_of(chain)
+
+    def test_self_is_not_complement(self):
+        p = Eq("a", 1)
+        assert not p.is_complement_of(p)
+
+
+class TestDescribe:
+    def test_renders_readable(self):
+        assert Eq("salary", "high").describe() == "salary = high"
+        assert Not(Eq("salary", "high")).describe() == "not (salary = high)"
+        assert "in" in In("color", ["a", "b"]).describe()
+        assert "<=" in Range("age", 10, 20).describe()
+
+    def test_columns_collected(self):
+        pred = And((Eq("a", 1), Or((Eq("b", 2), Range("c", 0, 1)))))
+        assert pred.columns() == frozenset({"a", "b", "c"})
+
+    def test_true_has_no_columns(self):
+        assert TRUE.columns() == frozenset()
+
+
+class TestHashability:
+    def test_predicates_usable_in_sets(self):
+        s = {Eq("a", 1), Eq("a", 1), Eq("b", 2)}
+        assert len(s) == 2
+
+    def test_normalized_and_hash_equal(self):
+        a = And((Eq("a", 1), Eq("b", 2))).normalize()
+        b = And((Eq("b", 2), Eq("a", 1))).normalize()
+        assert hash(a) == hash(b)

@@ -1,0 +1,83 @@
+"""Visualization specs: chains, filtering, sibling detection."""
+
+import pytest
+
+from repro.exploration.predicate import And, Eq, Not, TRUE
+from repro.exploration.visualization import Visualization, chain
+
+
+class TestConstruction:
+    def test_defaults_to_unfiltered(self):
+        viz = Visualization("sex")
+        assert not viz.is_filtered
+        assert viz.predicate is TRUE
+
+    def test_chain_builds_conjunction(self):
+        viz = chain("salary", Eq("education", "PhD"), Not(Eq("marital", "Married")))
+        assert viz.attribute == "salary"
+        assert viz.is_filtered
+        norm = viz.predicate.normalize()
+        assert isinstance(norm, And)
+        assert len(norm.operands) == 2
+
+    def test_chain_without_filters(self):
+        assert not chain("sex").is_filtered
+
+    def test_with_filter_extends_chain(self):
+        base = Visualization("salary", Eq("education", "PhD"))
+        extended = base.with_filter(Eq("sex", "Female"))
+        assert extended.predicate.columns() == frozenset({"education", "sex"})
+        # Original is unchanged (immutability).
+        assert base.predicate.columns() == frozenset({"education"})
+
+    def test_normalized_removes_double_negation(self):
+        viz = Visualization("sex", Not(Not(Eq("education", "PhD"))))
+        assert viz.normalized().predicate == Eq("education", "PhD")
+
+
+class TestSiblingDetection:
+    def test_negated_sibling(self):
+        a = Visualization("sex", Eq("salary", "high"))
+        b = Visualization("sex", Not(Eq("salary", "high")))
+        assert a.is_negated_sibling(b)
+        assert b.is_negated_sibling(a)
+
+    def test_same_attribute_different_filters(self):
+        a = Visualization("sex", Eq("salary", "high"))
+        b = Visualization("sex", Eq("education", "PhD"))
+        assert not a.is_negated_sibling(b)
+
+    def test_different_attribute_never_siblings(self):
+        a = Visualization("sex", Eq("salary", "high"))
+        b = Visualization("age", Not(Eq("salary", "high")))
+        assert not a.is_negated_sibling(b)
+
+    def test_unfiltered_panels_never_siblings(self):
+        a = Visualization("sex")
+        b = Visualization("sex")
+        assert not a.is_negated_sibling(b)
+
+    def test_shows_same_attribute(self):
+        assert Visualization("sex").shows_same_attribute(Visualization("sex", Eq("a", 1)))
+        assert not Visualization("sex").shows_same_attribute(Visualization("age"))
+
+
+class TestDescribe:
+    def test_unfiltered_is_bare_attribute(self):
+        assert Visualization("sex").describe() == "sex"
+
+    def test_filtered_includes_predicate(self):
+        text = Visualization("sex", Eq("salary", "high")).describe()
+        assert text == "sex | salary = high"
+
+
+class TestHistogramIntegration:
+    def test_histogram_respects_filter(self, tiny_dataset):
+        viz = Visualization("color", Eq("flag", True))
+        hist = viz.histogram(tiny_dataset)
+        assert hist.support == 6
+
+    def test_numeric_histogram_uses_bins(self, tiny_dataset):
+        viz = Visualization("size", bins=4)
+        hist = viz.histogram(tiny_dataset)
+        assert len(hist.labels) == 4

@@ -1,0 +1,137 @@
+"""Qualitative figure-shape assertions: who wins, where, by how much.
+
+Each test reruns a figure at reduced repetitions and asserts the *shape*
+the paper reports — the reproduction criterion of DESIGN.md §2.
+"""
+
+import pytest
+
+from repro.experiments import run_exp1a, run_exp1b, run_exp1c, run_exp2
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_exp1a(n_reps=300, seed=1)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_exp1b(n_reps=300, seed=2)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_exp1c(n_reps=300, seed=3)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_exp2(n_reps=8, n_rows=10_000, n_steps=60, seed=4)
+
+
+class TestFigure3Shapes:
+    def test_pcer_has_highest_power(self, fig3):
+        for m in (16, 32, 64):
+            pcer = fig3.get("75% Null", m, "pcer").avg_power
+            bonf = fig3.get("75% Null", m, "bonferroni").avg_power
+            bh = fig3.get("75% Null", m, "bhfdr").avg_power
+            assert pcer > bh > bonf
+
+    def test_pcer_fdr_explodes_under_global_null(self, fig3):
+        fdr_64 = fig3.get("100% Null", 64, "pcer").avg_fdr
+        fdr_4 = fig3.get("100% Null", 4, "pcer").avg_fdr
+        assert fdr_64 > 0.5  # the paper's "most discoveries are bogus" regime
+        assert fdr_64 > fdr_4
+
+    def test_bonferroni_lowest_fdr_and_discoveries(self, fig3):
+        for m in (16, 64):
+            cell = lambda proc, metric: getattr(  # noqa: E731
+                fig3.get("75% Null", m, proc), metric
+            )
+            assert cell("bonferroni", "avg_fdr") <= cell("pcer", "avg_fdr")
+            assert cell("bonferroni", "avg_discoveries") <= cell("bhfdr", "avg_discoveries")
+
+    def test_bhfdr_controls_fdr_at_alpha(self, fig3):
+        for panel in ("75% Null", "100% Null"):
+            for m in (4, 8, 16, 32, 64):
+                assert fig3.get(panel, m, "bhfdr").avg_fdr <= 0.05 + 0.02
+
+    def test_bonferroni_power_decays_with_m(self, fig3):
+        assert (
+            fig3.get("75% Null", 64, "bonferroni").avg_power
+            < fig3.get("75% Null", 16, "bonferroni").avg_power
+        )
+
+
+class TestFigure4Shapes:
+    def test_all_procedures_control_fdr(self, fig4):
+        for panel in ("25% Null", "75% Null", "100% Null"):
+            for m in (4, 16, 64):
+                for proc in fig4.procedures():
+                    fdr = fig4.get(panel, m, proc).avg_fdr
+                    assert fdr <= 0.05 + 0.03, f"{proc} at {panel}, m={m}: {fdr}"
+
+    def test_gamma_delta_crossover(self, fig4):
+        gamma_hi = fig4.get("75% Null", 64, "gamma-fixed").avg_power
+        delta_hi = fig4.get("75% Null", 64, "delta-hopeful").avg_power
+        assert gamma_hi > delta_hi
+        gamma_lo = fig4.get("25% Null", 64, "gamma-fixed").avg_power
+        delta_lo = fig4.get("25% Null", 64, "delta-hopeful").avg_power
+        assert delta_lo > gamma_lo
+
+    def test_seqfdr_power_collapses_with_m(self, fig4):
+        assert (
+            fig4.get("25% Null", 64, "seqfdr").avg_power
+            < fig4.get("25% Null", 4, "seqfdr").avg_power
+        )
+
+    def test_beta_farsighted_sustains_power_under_low_randomness(self, fig4):
+        power_64 = fig4.get("25% Null", 64, "beta-farsighted").avg_power
+        assert power_64 > 0.5
+
+
+class TestFigure5Shapes:
+    def test_power_grows_with_sample_size(self, fig5):
+        for proc in ("gamma-fixed", "epsilon-hybrid", "psi-support"):
+            low = fig5.get("25% Null", 0.1, proc).avg_power
+            high = fig5.get("25% Null", 0.9, proc).avg_power
+            assert high > low
+
+    def test_psi_support_lowest_fdr_at_75_null(self, fig5):
+        """The Sec. 7.2.3 claim: support-aware budgets cut FDR on thin data."""
+        for fraction in (0.1, 0.3):
+            psi = fig5.get("75% Null", fraction, "psi-support").avg_fdr
+            others = [
+                fig5.get("75% Null", fraction, p).avg_fdr
+                for p in ("delta-hopeful", "beta-farsighted", "seqfdr")
+            ]
+            assert psi <= min(others) + 0.01
+
+    def test_fdr_controlled_throughout(self, fig5):
+        for panel in ("25% Null", "75% Null"):
+            for fraction in (0.1, 0.5, 0.9):
+                for proc in fig5.procedures():
+                    assert fig5.get(panel, fraction, proc).avg_fdr <= 0.08
+
+
+class TestFigure6Shapes:
+    def test_conservative_rules_control_fdr_on_census(self, fig6):
+        for fraction in (0.3, 0.7, 0.9):
+            for proc in ("gamma-fixed", "psi-support"):
+                assert fig6.get("Census", fraction, proc).avg_fdr <= 0.06
+
+    def test_power_grows_with_sample_size_on_census(self, fig6):
+        for proc in ("gamma-fixed", "epsilon-hybrid"):
+            low = fig6.get("Census", 0.1, proc).avg_power
+            high = fig6.get("Census", 0.9, proc).avg_power
+            assert high >= low
+
+    def test_randomized_census_fdr_near_alpha(self, fig6):
+        """On the global null, average FDR stays in the paper's 0-0.10 band."""
+        for fraction in (0.3, 0.7):
+            for proc in fig6.procedures():
+                assert fig6.get("Randomized Census", fraction, proc).avg_fdr <= 0.12
+
+    def test_randomized_census_makes_few_discoveries(self, fig6):
+        for proc in ("gamma-fixed", "epsilon-hybrid", "seqfdr"):
+            assert fig6.get("Randomized Census", 0.5, proc).avg_discoveries <= 1.0

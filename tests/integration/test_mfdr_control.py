@@ -1,0 +1,111 @@
+"""Empirical error-control guarantees — the paper's central claims.
+
+These are the statistical acceptance tests of the reproduction: every
+investing rule must control mFDR at level α, which under the complete null
+implies weak FWER control (Sec. 5.1), and the per-figure qualitative
+orderings of Sec. 7 must hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.procedures.base import apply_to_stream
+from repro.procedures.registry import make_procedure
+from repro.workloads.synthetic import ZStreamGenerator
+
+INVESTING_RULES = [
+    "beta-farsighted",
+    "gamma-fixed",
+    "delta-hopeful",
+    "epsilon-hybrid",
+    "psi-support",
+    "best-foot-forward",
+]
+
+ALPHA = 0.05
+
+
+def empirical_mfdr(procedure_name, null_proportion, m=40, reps=400, seed=0):
+    """mFDR_eta(j) = E[V] / (E[R] + eta) with eta = 1 - alpha."""
+    generator = ZStreamGenerator(m=m, null_proportion=null_proportion)
+    rng = np.random.default_rng(seed)
+    total_v = 0.0
+    total_r = 0.0
+    for _ in range(reps):
+        stream = generator.sample(rng)
+        proc = make_procedure(procedure_name, alpha=ALPHA)
+        mask = apply_to_stream(proc, stream.p_values, stream.support_fractions)
+        total_v += (mask & stream.null_mask).sum()
+        total_r += mask.sum()
+    eta = 1.0 - ALPHA
+    return (total_v / reps) / (total_r / reps + eta)
+
+
+class TestMFDRControl:
+    @pytest.mark.parametrize("name", INVESTING_RULES)
+    def test_mfdr_under_complete_null(self, name):
+        value = empirical_mfdr(name, null_proportion=1.0)
+        assert value <= ALPHA * 1.3, f"{name}: mFDR {value:.4f} exceeds budget"
+
+    @pytest.mark.parametrize("name", INVESTING_RULES)
+    def test_mfdr_with_mixed_truth(self, name):
+        value = empirical_mfdr(name, null_proportion=0.75)
+        assert value <= ALPHA * 1.3, f"{name}: mFDR {value:.4f} exceeds budget"
+
+    @pytest.mark.parametrize("name", INVESTING_RULES)
+    def test_weak_fwer_under_complete_null(self, name):
+        """mFDR_{1-alpha} <= alpha implies E[V] <= alpha under the global
+        null; check the per-run false-discovery count directly."""
+        generator = ZStreamGenerator(m=30, null_proportion=1.0)
+        rng = np.random.default_rng(1)
+        false_counts = []
+        for _ in range(400):
+            stream = generator.sample(rng)
+            proc = make_procedure(name, alpha=ALPHA)
+            mask = apply_to_stream(proc, stream.p_values, stream.support_fractions)
+            false_counts.append(mask.sum())
+        assert np.mean(false_counts) <= ALPHA * 1.4
+
+
+class TestPowerOrderings:
+    """The Sec. 7.2 qualitative findings, as assertions."""
+
+    def _power(self, name, null_proportion, m, reps=300, seed=2):
+        generator = ZStreamGenerator(m=m, null_proportion=null_proportion)
+        rng = np.random.default_rng(seed)
+        powers = []
+        for _ in range(reps):
+            stream = generator.sample(rng)
+            proc = make_procedure(name, alpha=ALPHA)
+            mask = apply_to_stream(proc, stream.p_values, stream.support_fractions)
+            n_alt = stream.num_alternatives
+            if n_alt:
+                powers.append((mask & ~stream.null_mask).sum() / n_alt)
+        return float(np.mean(powers))
+
+    def test_gamma_fixed_beats_delta_hopeful_under_high_randomness(self):
+        gamma = self._power("gamma-fixed", null_proportion=0.75, m=64)
+        delta = self._power("delta-hopeful", null_proportion=0.75, m=64)
+        assert gamma > delta + 0.05
+
+    def test_delta_hopeful_beats_gamma_fixed_under_low_randomness(self):
+        gamma = self._power("gamma-fixed", null_proportion=0.25, m=64)
+        delta = self._power("delta-hopeful", null_proportion=0.25, m=64)
+        assert delta > gamma + 0.05
+
+    def test_hybrid_tracks_the_better_rule(self):
+        for null_proportion in (0.25, 0.75):
+            gamma = self._power("gamma-fixed", null_proportion, m=64)
+            delta = self._power("delta-hopeful", null_proportion, m=64)
+            hybrid = self._power("epsilon-hybrid", null_proportion, m=64)
+            assert hybrid >= min(gamma, delta) - 0.03
+
+    def test_investing_rules_beat_seqfdr_at_scale(self):
+        seqfdr = self._power("seqfdr", null_proportion=0.75, m=64)
+        gamma = self._power("gamma-fixed", null_proportion=0.75, m=64)
+        assert gamma > seqfdr + 0.1
+
+    def test_beta_farsighted_power_decays_with_m_under_randomness(self):
+        early = self._power("beta-farsighted", null_proportion=0.75, m=8)
+        late = self._power("beta-farsighted", null_proportion=0.75, m=64)
+        assert early > late

@@ -1,0 +1,106 @@
+"""End-to-end AWARE sessions: long explorations, revisions, Theorem 1."""
+
+import numpy as np
+import pytest
+
+from repro.exploration.hypotheses import HypothesisStatus
+from repro.exploration.predicate import Eq, Not
+from repro.exploration.session import ExplorationSession
+from repro.procedures.important import important_subset_fdr
+from repro.workloads.census import make_census
+
+
+class TestLongSession:
+    def test_fifty_panel_exploration_stays_consistent(self, census):
+        session = ExplorationSession(census, procedure="epsilon-hybrid", alpha=0.05)
+        filters = []
+        for attr in ("education", "marital_status", "workclass", "race", "occupation"):
+            for cat in census.categories(attr):
+                filters.append((attr, cat))
+        shown = 0
+        for target in ("sex", "salary_over_50k"):
+            for attr, cat in filters:
+                session.show(target, where=Eq(attr, cat))
+                shown += 1
+        assert session.procedure.num_tested == shown
+        # Wealth accounting is coherent with the decision log.
+        decisions = session.procedure.decisions
+        assert len(decisions) == shown
+        for hyp, decision in zip(session.active_hypotheses(), decisions):
+            assert hyp.decision == decision
+        # Every decision remained immutable (indices strictly ordered).
+        assert [d.index for d in decisions] == list(range(shown))
+
+    def test_randomized_data_yields_few_discoveries(self):
+        census = make_census(6_000, seed=3)
+        random_census = census.permute_columns(seed=4)
+        session = ExplorationSession(random_census, procedure="gamma-fixed", alpha=0.05)
+        for target in ("sex", "salary_over_50k", "education"):
+            for attr in ("workclass", "race", "native_region", "marital_status"):
+                if attr == target:
+                    continue
+                for cat in random_census.categories(attr)[:2]:
+                    session.show(target, where=Eq(attr, cat))
+        assert len(session.discoveries()) <= 2
+
+    def test_planted_signal_is_discovered(self, census):
+        session = ExplorationSession(census, procedure="epsilon-hybrid", alpha=0.05)
+        session.show("sex", where=Eq("salary_over_50k", "True"))
+        session.show("salary_over_50k", where=Eq("education", "PhD"))
+        session.show("marital_status", where=Eq("education", "PhD"))
+        assert len(session.discoveries()) >= 2
+
+
+class TestRevisionSemantics:
+    def test_replay_changes_only_later_decisions(self, census):
+        session = ExplorationSession(census, procedure="gamma-fixed", alpha=0.05)
+        preds = [
+            Eq("salary_over_50k", "True"),
+            Eq("education", "PhD"),
+            Eq("workclass", "Private"),
+            Eq("race", "GroupB"),
+            Eq("marital_status", "Married"),
+        ]
+        hyps = [session.show("sex", where=p).hypothesis for p in preds]
+        before = {h.hypothesis_id: h.rejected for h in session.active_hypotheses()}
+        target = hyps[2].hypothesis_id
+        report = session.delete(target)
+        for hyp_id, was, _now in report.changed:
+            assert hyp_id > target, "replay must not touch earlier decisions"
+            assert before[hyp_id] == was
+
+    def test_supersede_then_delete_chain(self, census):
+        session = ExplorationSession(census, procedure="epsilon-hybrid", alpha=0.05)
+        session.show("sex", where=Eq("salary_over_50k", "True"))
+        rule3 = session.show("sex", where=Not(Eq("salary_over_50k", "True"))).hypothesis
+        session.delete(rule3.hypothesis_id)
+        statuses = [h.status for h in session.history()]
+        assert statuses == [HypothesisStatus.SUPERSEDED, HypothesisStatus.DELETED]
+        assert session.active_hypotheses() == ()
+        assert session.procedure.num_tested == 0
+
+
+class TestTheoremOneInSession:
+    def test_starred_subset_preserves_fdr_empirically(self):
+        """Run many sessions on randomized data; the starred-at-random subset
+        of discoveries must not concentrate false discoveries."""
+        rng = np.random.default_rng(5)
+        ratios = []
+        census = make_census(2_000, seed=6)
+        for rep in range(30):
+            randomized = census.permute_columns(seed=rng.integers(2**31))
+            session = ExplorationSession(randomized, procedure="delta-hopeful", alpha=0.1)
+            for target in ("sex", "education"):
+                for attr in ("workclass", "race", "marital_status"):
+                    for cat in randomized.categories(attr)[:2]:
+                        session.show(target, where=Eq(attr, cat))
+            rejected = np.array([h.rejected for h in session.active_hypotheses()])
+            nulls = np.ones_like(rejected, dtype=bool)  # all null by construction
+            ratios.append(
+                important_subset_fdr(rejected, nulls, subset_fraction=0.5,
+                                     n_draws=20, seed=rep)
+            )
+        # All discoveries are false here, so the subset FDR equals the
+        # probability a session made any discovery at all — small under
+        # mFDR control at 0.1.
+        assert np.mean(ratios) <= 0.15

@@ -1,0 +1,172 @@
+"""The α-investing engine: protocol, exhaustion, never-overturn."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.procedures.alpha_investing import (
+    AlphaInvesting,
+    BetaFarsighted,
+    DeltaHopeful,
+    EpsilonHybrid,
+    GammaFixed,
+    PsiSupport,
+)
+from repro.procedures.base import apply_to_stream
+
+ALL_POLICIES = [
+    lambda: BetaFarsighted(0.25),
+    lambda: GammaFixed(10.0),
+    lambda: DeltaHopeful(10.0),
+    lambda: EpsilonHybrid(0.5, 10.0, 10.0),
+    lambda: PsiSupport(0.5, 10.0),
+]
+
+
+class TestProtocol:
+    def test_rejection_increases_wealth(self):
+        proc = AlphaInvesting(GammaFixed(10.0), alpha=0.05)
+        before = proc.wealth
+        d = proc.test(1e-9)
+        assert d.rejected
+        assert proc.wealth == pytest.approx(before + 0.05)
+        assert d.wealth_after == proc.wealth
+
+    def test_acceptance_decreases_wealth(self):
+        proc = AlphaInvesting(GammaFixed(10.0), alpha=0.05)
+        before = proc.wealth
+        d = proc.test(0.99)
+        assert not d.rejected
+        assert proc.wealth < before
+
+    def test_decision_threshold_is_budget(self):
+        proc = AlphaInvesting(GammaFixed(10.0), alpha=0.05)
+        w0 = proc.initial_wealth
+        expected_budget = w0 / (10.0 + w0)
+        d = proc.test(expected_budget * 0.999)
+        assert d.rejected
+        proc.reset()
+        d = proc.test(expected_budget * 1.001)
+        assert not d.rejected
+
+    def test_decisions_logged_in_order(self):
+        proc = AlphaInvesting(GammaFixed(10.0))
+        proc.test(0.5)
+        proc.test(0.001)
+        assert [d.index for d in proc.decisions] == [0, 1]
+        assert proc.num_tested == 2
+        assert proc.num_rejected == 1
+
+    def test_invalid_p_value(self):
+        proc = AlphaInvesting(GammaFixed(10.0))
+        with pytest.raises(InvalidParameterError):
+            proc.test(1.5)
+
+    def test_invalid_support_fraction(self):
+        proc = AlphaInvesting(PsiSupport())
+        with pytest.raises(InvalidParameterError):
+            proc.test(0.5, support_fraction=0.0)
+
+    def test_name_comes_from_policy(self):
+        assert AlphaInvesting(GammaFixed()).name == "gamma-fixed"
+
+
+class TestExhaustion:
+    def test_gamma_fixed_exhausts_after_gamma_accepts(self):
+        proc = AlphaInvesting(GammaFixed(10.0), alpha=0.05)
+        for _ in range(10):
+            d = proc.test(0.99)
+            assert not d.exhausted
+        d = proc.test(0.0001)  # would reject, but nothing is left to invest
+        assert d.exhausted
+        assert not d.rejected
+        assert d.level == 0.0
+        assert proc.is_exhausted
+
+    def test_exhausted_tests_leave_wealth_untouched(self):
+        proc = AlphaInvesting(GammaFixed(10.0), alpha=0.05)
+        for _ in range(10):
+            proc.test(0.99)
+        w = proc.wealth
+        proc.test(0.5)
+        assert proc.wealth == w
+
+    def test_beta_farsighted_never_exhausts(self):
+        proc = AlphaInvesting(BetaFarsighted(0.25), alpha=0.05)
+        for _ in range(300):
+            d = proc.test(0.99)
+            assert not d.exhausted
+        assert not proc.is_exhausted
+
+    def test_rejection_rescues_gamma_fixed(self):
+        proc = AlphaInvesting(GammaFixed(10.0), alpha=0.05)
+        for _ in range(9):
+            proc.test(0.99)
+        proc.test(1e-9)  # rejection refills omega
+        # 9 accepts burned 9*W0/10; one reject added alpha=0.05 > W0.
+        for _ in range(10):
+            d = proc.test(0.99)
+        assert sum(1 for d in proc.decisions if d.exhausted) < 3
+
+
+class TestNeverOverturn:
+    @pytest.mark.parametrize("make_policy", ALL_POLICIES)
+    def test_appending_tests_never_changes_prior_decisions(self, make_policy, rng):
+        proc = AlphaInvesting(make_policy(), alpha=0.05)
+        p_values = rng.uniform(size=60) ** 2
+        snapshots = []
+        for p in p_values:
+            proc.test(float(p))
+            snapshots.append([d.rejected for d in proc.decisions])
+        final = snapshots[-1]
+        for i, snap in enumerate(snapshots):
+            assert snap == final[: i + 1]
+
+    @pytest.mark.parametrize("make_policy", ALL_POLICIES)
+    def test_reset_reproduces_identical_decisions(self, make_policy, rng):
+        p_values = rng.uniform(size=40)
+        proc = AlphaInvesting(make_policy(), alpha=0.05)
+        first = apply_to_stream(proc, p_values)
+        second = apply_to_stream(proc, p_values)  # apply_to_stream resets
+        assert np.array_equal(first, second)
+
+
+class TestWealthInvariants:
+    @pytest.mark.parametrize("make_policy", ALL_POLICIES)
+    def test_wealth_never_negative(self, make_policy, rng):
+        proc = AlphaInvesting(make_policy(), alpha=0.05)
+        for p in rng.uniform(size=200):
+            proc.test(float(p))
+            assert proc.wealth >= -1e-12
+
+    @pytest.mark.parametrize("make_policy", ALL_POLICIES)
+    def test_budgets_below_alpha_wealth_bound(self, make_policy, rng):
+        proc = AlphaInvesting(make_policy(), alpha=0.05)
+        for p in rng.uniform(size=100):
+            wealth_before = proc.wealth
+            d = proc.test(float(p))
+            if not d.exhausted:
+                # Feasibility: the worst-case charge was affordable.
+                assert d.level / (1.0 - d.level) <= wealth_before + 1e-9
+
+    def test_eta_omega_overrides(self):
+        proc = AlphaInvesting(GammaFixed(10.0), alpha=0.05, eta=1.0, omega=0.02)
+        assert proc.initial_wealth == pytest.approx(0.05)
+        proc.test(1e-9)
+        assert proc.wealth == pytest.approx(0.05 + 0.02)
+
+
+class TestSupportFractionPlumbing:
+    def test_psi_support_uses_fraction(self):
+        proc = AlphaInvesting(PsiSupport(0.5, 10.0), alpha=0.05)
+        d_full = proc.test(0.5, support_fraction=1.0)
+        proc.reset()
+        d_thin = proc.test(0.5, support_fraction=0.04)
+        assert d_thin.level == pytest.approx(d_full.level * 0.2)
+
+    def test_other_policies_ignore_fraction(self):
+        proc = AlphaInvesting(GammaFixed(10.0), alpha=0.05)
+        d_full = proc.test(0.5, support_fraction=1.0)
+        proc.reset()
+        d_thin = proc.test(0.5, support_fraction=0.01)
+        assert d_thin.level == d_full.level

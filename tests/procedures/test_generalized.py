@@ -1,0 +1,159 @@
+"""Generalized alpha-investing (Aharoni & Rosset): conditions and control."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.procedures.alpha_investing.generalized import (
+    ConstantLevelGAI,
+    GAIBid,
+    GAIInvesting,
+    ProportionalGAI,
+)
+from repro.procedures.base import apply_to_stream
+from repro.procedures.registry import make_procedure
+
+
+class TestGAIBid:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            GAIBid(alpha_j=0.0, phi_j=0.01)
+        with pytest.raises(InvalidParameterError):
+            GAIBid(alpha_j=1.0, phi_j=0.01)
+        with pytest.raises(InvalidParameterError):
+            GAIBid(alpha_j=0.01, phi_j=-0.1)
+
+
+class TestRewardConditions:
+    def test_reward_respects_both_bounds(self):
+        alpha = 0.05
+        for alpha_j, phi_j in [(0.01, 0.005), (0.001, 0.02), (0.04, 0.04)]:
+            bid = GAIBid(alpha_j=alpha_j, phi_j=phi_j)
+            psi = GAIInvesting.max_reward(bid, alpha)
+            null_bound = phi_j / alpha_j + alpha - 1.0
+            assert psi <= max(0.0, null_bound) + 1e-12
+            assert psi <= phi_j + alpha + 1e-12
+
+    def test_null_bound_binds_for_large_level(self):
+        # phi/alpha_j + a - 1 = 0.04 - 0.95 < 0 -> floored at 0.
+        bid = GAIBid(alpha_j=0.5, phi_j=0.02)
+        assert GAIInvesting.max_reward(bid, 0.05) == 0.0
+
+    def test_discovery_bound_binds_for_small_level(self):
+        # phi/alpha_j + a - 1 = 20 - 0.95 > phi + alpha = 0.07.
+        bid = GAIBid(alpha_j=0.001, phi_j=0.02)
+        assert GAIInvesting.max_reward(bid, 0.05) == pytest.approx(0.07)
+
+    def test_foster_stine_special_case_collapses(self):
+        # phi = alpha_j/(1-alpha_j): both bounds coincide at phi + alpha.
+        alpha, alpha_j = 0.05, 0.01
+        phi = alpha_j / (1.0 - alpha_j)
+        bid = GAIBid(alpha_j=alpha_j, phi_j=phi)
+        assert GAIInvesting.max_reward(bid, alpha) == pytest.approx(phi + alpha)
+        assert phi / alpha_j + alpha - 1.0 == pytest.approx(phi + alpha)
+
+
+class TestEngine:
+    def test_fee_charged_always(self):
+        proc = GAIInvesting(ConstantLevelGAI(level=0.01, fee=0.005), alpha=0.05)
+        before = proc.wealth
+        proc.test(0.9)  # accept
+        assert proc.wealth == pytest.approx(before - 0.005)
+
+    def test_reward_on_rejection(self):
+        proc = GAIInvesting(ConstantLevelGAI(level=0.01, fee=0.01), alpha=0.05)
+        before = proc.wealth
+        proc.test(0.001)  # reject
+        psi = GAIInvesting.max_reward(GAIBid(0.01, 0.01), 0.05)
+        assert psi > 0
+        assert proc.wealth == pytest.approx(before - 0.01 + psi)
+
+    def test_exhaustion_when_fee_unaffordable(self):
+        proc = GAIInvesting(ConstantLevelGAI(level=0.01, fee=0.02), alpha=0.05)
+        # W(0) = 0.0475 -> two fees of 0.02 affordable, third is not.
+        proc.test(0.9)
+        proc.test(0.9)
+        d = proc.test(0.001)
+        assert d.exhausted and not d.rejected
+        assert proc.is_exhausted is False or proc.wealth >= 0  # wealth untouched
+
+    def test_proportional_policy_is_thrifty(self):
+        proc = GAIInvesting(ProportionalGAI(rate=0.2), alpha=0.05)
+        for _ in range(200):
+            d = proc.test(0.99)
+            assert not d.exhausted
+        assert proc.wealth > 0
+
+    def test_wealth_never_negative(self, rng):
+        proc = GAIInvesting(ProportionalGAI(rate=0.5), alpha=0.05)
+        for p in rng.uniform(size=300):
+            proc.test(float(p))
+            assert proc.wealth >= 0
+
+    def test_never_overturn(self, rng):
+        proc = GAIInvesting(ProportionalGAI(rate=0.2), alpha=0.05)
+        p_values = rng.uniform(size=50) ** 2
+        snapshots = []
+        for p in p_values:
+            proc.test(float(p))
+            snapshots.append([d.rejected for d in proc.decisions])
+        final = snapshots[-1]
+        for i, snap in enumerate(snapshots):
+            assert snap == final[: i + 1]
+
+    def test_reset(self, rng):
+        proc = GAIInvesting(ProportionalGAI(rate=0.2), alpha=0.05)
+        p = rng.uniform(size=30)
+        first = apply_to_stream(proc, p)
+        second = apply_to_stream(proc, p)
+        assert np.array_equal(first, second)
+
+    def test_registry_names(self):
+        assert make_procedure("gai-proportional", rate=0.2).policy.rate == 0.2
+        assert make_procedure("gai-constant", level=0.02).policy.level == 0.02
+
+
+class TestGAIMFDRControl:
+    def test_empirical_mfdr_under_global_null(self, rng):
+        """E[V] / (E[R] + eta) <= alpha for the GAI engine, too."""
+        alpha = 0.05
+        total_v = 0.0
+        total_r = 0.0
+        reps = 2500  # E[R] per run is ~0.05, so this needs real sample size
+        for _ in range(reps):
+            proc = make_procedure("gai-proportional", alpha=alpha, rate=0.15)
+            mask = apply_to_stream(proc, rng.uniform(size=40))
+            total_v += mask.sum()
+            total_r += mask.sum()
+        mfdr = (total_v / reps) / (total_r / reps + (1 - alpha))
+        assert mfdr <= alpha * 1.3
+
+    def test_gai_has_power_on_signal(self, rng):
+        from repro.workloads.synthetic import ZStreamGenerator
+
+        gen = ZStreamGenerator(m=40, null_proportion=0.25)
+        powers = []
+        for _ in range(150):
+            stream = gen.sample(rng)
+            proc = make_procedure("gai-proportional", rate=0.15)
+            mask = apply_to_stream(proc, stream.p_values)
+            powers.append((mask & ~stream.null_mask).sum() / stream.num_alternatives)
+        assert np.mean(powers) > 0.3
+
+
+class TestPolicyValidation:
+    def test_proportional_rate_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            ProportionalGAI(rate=0.0)
+        with pytest.raises(InvalidParameterError):
+            ProportionalGAI(rate=1.0)
+
+    def test_constant_level_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            ConstantLevelGAI(level=0.0)
+        with pytest.raises(InvalidParameterError):
+            ConstantLevelGAI(level=0.01, fee=-1.0)
+
+    def test_engine_eta_validation(self):
+        with pytest.raises(InvalidParameterError):
+            GAIInvesting(ProportionalGAI(), alpha=0.05, eta=0.0)

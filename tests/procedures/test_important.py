@@ -1,0 +1,87 @@
+"""Theorem 1: important-discovery subsets preserve error control."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.procedures.base import Decision
+from repro.procedures.fdr import benjamini_hochberg_mask
+from repro.procedures.important import important_subset_fdr, select_important
+
+
+def make_decisions(p_values, mask):
+    return [
+        Decision(index=i, p_value=float(p), level=0.05, rejected=bool(r))
+        for i, (p, r) in enumerate(zip(p_values, mask))
+    ]
+
+
+class TestSelectImportant:
+    def test_selector_keeps_only_discoveries(self):
+        decisions = make_decisions([0.001, 0.9, 0.002], [True, False, True])
+        chosen = select_important(decisions, selector=lambda d: d.index == 2)
+        assert [d.index for d in chosen] == [2]
+
+    def test_selector_never_returns_accepted(self):
+        decisions = make_decisions([0.001, 0.9], [True, False])
+        chosen = select_important(decisions, selector=lambda d: True)
+        assert all(d.rejected for d in chosen)
+
+    def test_fraction_selection_reproducible(self):
+        decisions = make_decisions([0.001] * 20, [True] * 20)
+        a = select_important(decisions, fraction=0.5, seed=3)
+        b = select_important(decisions, fraction=0.5, seed=3)
+        assert [d.index for d in a] == [d.index for d in b]
+
+    def test_fraction_one_keeps_all(self):
+        decisions = make_decisions([0.001] * 10, [True] * 10)
+        assert len(select_important(decisions, fraction=1.0, seed=0)) == 10
+
+    def test_requires_exactly_one_mode(self):
+        decisions = make_decisions([0.001], [True])
+        with pytest.raises(InvalidParameterError):
+            select_important(decisions)
+        with pytest.raises(InvalidParameterError):
+            select_important(decisions, selector=lambda d: True, fraction=0.5)
+
+    def test_fraction_validation(self):
+        decisions = make_decisions([0.001], [True])
+        with pytest.raises(InvalidParameterError):
+            select_important(decisions, fraction=1.5)
+
+
+class TestTheoremOneEmpirically:
+    def test_subset_fdr_matches_full_fdr_under_bh(self, rng):
+        """E[|V ∩ R'|/|R'|] stays at/below alpha for random subsets."""
+        alpha = 0.1
+        subset_ratios = []
+        for _ in range(300):
+            m = 60
+            null = np.ones(m, dtype=bool)
+            null[rng.choice(m, size=20, replace=False)] = False
+            p = np.where(
+                null, rng.uniform(size=m), rng.beta(0.08, 1.0, size=m)
+            )
+            mask = benjamini_hochberg_mask(p, alpha)
+            subset_ratios.append(
+                important_subset_fdr(mask, null, subset_fraction=0.4, n_draws=40,
+                                     seed=rng.integers(2**31))
+            )
+        assert np.mean(subset_ratios) <= alpha + 0.02
+
+    def test_empty_discovery_set_is_zero(self):
+        assert important_subset_fdr([False, False], [True, True], 0.5) == 0.0
+
+    def test_full_subset_equals_plain_fdp(self):
+        rejected = np.array([True, True, True, False])
+        nulls = np.array([True, False, False, False])
+        value = important_subset_fdr(rejected, nulls, subset_fraction=1.0, n_draws=5)
+        assert value == pytest.approx(1.0 / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            important_subset_fdr([True], [True, False], 0.5)
+        with pytest.raises(InvalidParameterError):
+            important_subset_fdr([True], [True], 0.0)
+        with pytest.raises(InvalidParameterError):
+            important_subset_fdr([True], [True], 0.5, n_draws=0)

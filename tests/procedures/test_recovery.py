@@ -1,0 +1,80 @@
+"""Sec. 5.8 wealth recovery: BH revalidation of an exhausted stream."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.exploration.predicate import Eq
+from repro.exploration.session import ExplorationSession
+from repro.procedures.recovery import CAVEAT, bh_revalidation, revalidate_session
+
+
+class TestBHRevalidation:
+    def test_regained_are_bh_only(self):
+        p = [0.001, 0.002, 0.004, 0.9]
+        streaming = [True, False, False, False]  # wealth ran out after #1
+        report = bh_revalidation(p, streaming, alpha=0.05)
+        assert report.bh_mask.tolist() == [True, True, True, False]
+        assert report.regained == (1, 2)
+        assert report.lost == ()
+
+    def test_lost_are_streaming_only(self):
+        p = [0.04, 0.9, 0.8, 0.7]
+        streaming = [True, False, False, False]  # rejected at a generous alpha_j
+        report = bh_revalidation(p, streaming, alpha=0.05)
+        # BH threshold for the smallest of 4 is 0.0125 < 0.04.
+        assert report.bh_mask.tolist() == [False, False, False, False]
+        assert report.lost == (0,)
+        assert report.regained == ()
+
+    def test_caveat_always_attached(self):
+        report = bh_revalidation([0.5], [False])
+        assert report.caveat == CAVEAT
+        assert "NOT" in report.summary()
+
+    def test_alignment_validated(self):
+        with pytest.raises(InvalidParameterError):
+            bh_revalidation([0.1, 0.2], [True])
+
+    def test_counts(self):
+        report = bh_revalidation([1e-6, 1e-5, 0.9], [False, False, False])
+        assert report.num_bh_discoveries == 2
+        assert len(report.regained) == 2
+
+
+class TestSessionRevalidation:
+    def test_exhausted_session_regains_leads(self, census):
+        session = ExplorationSession(census, procedure="gamma-fixed", alpha=0.05,
+                                     gamma=3.0)
+        # Burn the wealth on independent (null) panels...
+        for attr, n in (("workclass", 3), ("race", 3), ("native_region", 3)):
+            for cat in census.categories(attr)[:n]:
+                session.show("sex", where=Eq(attr, cat))
+        assert session.is_exhausted
+        # ...then meet a real effect the stream can no longer reject.
+        blocked = session.show("salary_over_50k", where=Eq("education", "PhD"))
+        assert blocked.hypothesis.decision.exhausted
+        report = revalidate_session(session)
+        last_index = len(session.active_hypotheses()) - 1
+        assert last_index in report.regained
+
+    def test_session_is_not_mutated(self, census):
+        session = ExplorationSession(census, procedure="gamma-fixed", alpha=0.05)
+        session.show("sex", where=Eq("salary_over_50k", "True"))
+        before = [h.rejected for h in session.active_hypotheses()]
+        revalidate_session(session)
+        after = [h.rejected for h in session.active_hypotheses()]
+        assert before == after
+
+    def test_empty_session_rejected(self, census):
+        session = ExplorationSession(census, procedure="gamma-fixed")
+        with pytest.raises(InvalidParameterError):
+            revalidate_session(session)
+
+    def test_alpha_override(self, census):
+        session = ExplorationSession(census, procedure="gamma-fixed", alpha=0.05)
+        session.show("sex", where=Eq("salary_over_50k", "True"))
+        # The planted effect is astronomically significant; only an absurdly
+        # strict level can refuse it — which proves the override is honored.
+        strict = revalidate_session(session, alpha=1e-300)
+        assert strict.num_bh_discoveries == 0

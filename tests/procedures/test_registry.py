@@ -1,0 +1,76 @@
+"""Procedure registry: construction by name, parameter forwarding."""
+
+import pytest
+
+from repro.errors import UnknownProcedureError
+from repro.procedures.alpha_investing import AlphaInvesting
+from repro.procedures.base import BatchProcedure, StreamingProcedure
+from repro.procedures.registry import (
+    available_procedures,
+    make_procedure,
+    register_procedure,
+)
+
+PAPER_SERIES = [
+    "pcer",
+    "bonferroni",
+    "bhfdr",
+    "seqfdr",
+    "beta-farsighted",
+    "gamma-fixed",
+    "delta-hopeful",
+    "epsilon-hybrid",
+    "psi-support",
+]
+
+
+class TestRegistry:
+    def test_all_paper_series_registered(self):
+        names = available_procedures()
+        for name in PAPER_SERIES:
+            assert name in names
+
+    @pytest.mark.parametrize("name", PAPER_SERIES)
+    def test_construction(self, name):
+        proc = make_procedure(name, alpha=0.05)
+        assert isinstance(proc, (BatchProcedure, StreamingProcedure))
+        assert proc.alpha == 0.05
+
+    def test_fresh_instance_each_call(self):
+        a = make_procedure("gamma-fixed")
+        b = make_procedure("gamma-fixed")
+        assert a is not b
+        a.test(0.001)
+        assert b.num_tested == 0
+
+    def test_parameter_forwarding(self):
+        proc = make_procedure("gamma-fixed", gamma=50.0)
+        assert isinstance(proc, AlphaInvesting)
+        assert proc.policy.gamma == 50.0
+
+    def test_eta_omega_forwarding_to_investing(self):
+        proc = make_procedure("delta-hopeful", alpha=0.1, eta=1.0, omega=0.05)
+        assert proc.initial_wealth == pytest.approx(0.1)
+        assert proc.ledger.omega == 0.05
+
+    def test_epsilon_hybrid_window_forwarding(self):
+        proc = make_procedure("epsilon-hybrid", window=7)
+        assert proc.policy.window == 7
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(UnknownProcedureError, match="available"):
+            make_procedure("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(UnknownProcedureError):
+            register_procedure("pcer", lambda alpha=0.05: None)
+
+    def test_overwrite_flag(self):
+        original = make_procedure("pcer")
+        register_procedure("pcer", lambda alpha=0.05: original, overwrite=True)
+        try:
+            assert make_procedure("pcer") is original
+        finally:
+            from repro.procedures.pcer import PCER
+
+            register_procedure("pcer", lambda alpha=0.05: PCER(alpha), overwrite=True)

@@ -1,0 +1,87 @@
+"""Sequential FDR (ForwardStop/StrongStop): order sensitivity and control."""
+
+import numpy as np
+import pytest
+
+from repro.procedures.seqfdr import ForwardStop, StrongStop, forward_stop_k, strong_stop_k
+
+
+class TestForwardStop:
+    def test_rejects_prefix_only(self):
+        p = [1e-6, 1e-6, 0.9, 1e-6]
+        mask = ForwardStop(0.05).decide(np.asarray(p))
+        # The high p at position 3 blocks position 4 from being reachable
+        # unless the running mean recovers; with these values k=2.
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_mask_is_always_a_prefix(self, rng):
+        for _ in range(25):
+            p = rng.uniform(size=30)
+            mask = ForwardStop(0.1).decide(p)
+            k = mask.sum()
+            assert np.all(mask[:k]) and not np.any(mask[k:])
+
+    def test_order_sensitivity(self):
+        """The Sec. 4.3 critique: an early high p-value hurts later low ones."""
+        good_first = [1e-8, 1e-8, 1e-8, 0.99]
+        bad_first = [0.99, 1e-8, 1e-8, 1e-8]
+        k_good = forward_stop_k(good_first, 0.05)
+        k_bad = forward_stop_k(bad_first, 0.05)
+        assert k_good == 3
+        assert k_bad == 0
+
+    def test_all_tiny_rejects_all(self):
+        assert forward_stop_k([1e-9] * 10, 0.05) == 10
+
+    def test_all_large_rejects_none(self):
+        assert forward_stop_k([0.8] * 10, 0.05) == 0
+
+    def test_p_equal_one_no_overflow(self):
+        k = forward_stop_k([1.0, 1.0], 0.05)
+        assert k == 0
+
+    def test_empty_stream(self):
+        assert forward_stop_k([], 0.05) == 0
+
+    def test_fdr_control_under_global_null(self, rng):
+        """Average FDR (= P(any rejection) here) stays near alpha."""
+        rejections = 0
+        reps = 400
+        for _ in range(reps):
+            p = rng.uniform(size=50)
+            if forward_stop_k(p, 0.05) > 0:
+                rejections += 1
+        assert rejections / reps < 0.09
+
+
+class TestStrongStop:
+    def test_mask_is_always_a_prefix(self, rng):
+        for _ in range(25):
+            p = rng.uniform(size=30)
+            mask = StrongStop(0.1).decide(p)
+            k = mask.sum()
+            assert np.all(mask[:k]) and not np.any(mask[k:])
+
+    def test_more_conservative_than_forward_stop(self, rng):
+        wins = 0
+        for _ in range(50):
+            p = np.sort(rng.uniform(size=20) ** 3)
+            if strong_stop_k(p, 0.05) <= forward_stop_k(p, 0.05):
+                wins += 1
+        assert wins >= 45  # StrongStop controls FWER; almost always <=
+
+    def test_rejects_strong_prefix(self):
+        p = [1e-10, 1e-9, 1e-8, 0.9, 0.95]
+        assert strong_stop_k(p, 0.05) >= 1
+
+    def test_empty_stream(self):
+        assert strong_stop_k([], 0.05) == 0
+
+    def test_fwer_under_global_null(self, rng):
+        rejections = 0
+        reps = 400
+        for _ in range(reps):
+            p = rng.uniform(size=40)
+            if strong_stop_k(p, 0.05) > 0:
+                rejections += 1
+        assert rejections / reps < 0.08

@@ -1,0 +1,146 @@
+"""The α-wealth ledger: Eq. (5) arithmetic and feasibility bounds."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.procedures.alpha_investing.wealth import WealthLedger
+
+
+class TestInitialization:
+    def test_default_initial_wealth(self):
+        ledger = WealthLedger(alpha=0.05)
+        assert ledger.initial_wealth == pytest.approx(0.05 * 0.95)
+        assert ledger.wealth == ledger.initial_wealth
+        assert ledger.omega == 0.05
+
+    def test_custom_eta(self):
+        ledger = WealthLedger(alpha=0.1, eta=0.5)
+        assert ledger.initial_wealth == pytest.approx(0.05)
+
+    def test_omega_cannot_exceed_alpha(self):
+        with pytest.raises(InvalidParameterError):
+            WealthLedger(alpha=0.05, omega=0.06)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.1])
+    def test_alpha_validation(self, alpha):
+        with pytest.raises(InvalidParameterError):
+            WealthLedger(alpha=alpha)
+
+    @pytest.mark.parametrize("eta", [0.0, 1.5])
+    def test_eta_validation(self, eta):
+        with pytest.raises(InvalidParameterError):
+            WealthLedger(alpha=0.05, eta=eta)
+
+
+class TestEquationFive:
+    def test_rejection_pays_omega(self):
+        ledger = WealthLedger(alpha=0.05)
+        before = ledger.wealth
+        ledger.settle(budget=0.01, rejected=True)
+        assert ledger.wealth == pytest.approx(before + 0.05)
+
+    def test_acceptance_charges_odds(self):
+        ledger = WealthLedger(alpha=0.05)
+        before = ledger.wealth
+        ledger.settle(budget=0.01, rejected=False)
+        assert ledger.wealth == pytest.approx(before - 0.01 / 0.99)
+
+    def test_charge_formula(self):
+        assert WealthLedger.charge_for(0.5) == pytest.approx(1.0)
+        assert WealthLedger.charge_for(0.0) == 0.0
+
+    def test_events_record_history(self):
+        ledger = WealthLedger(alpha=0.05)
+        ledger.settle(0.01, rejected=False)
+        ledger.settle(0.02, rejected=True)
+        events = ledger.events
+        assert len(events) == 2
+        assert events[0].wealth_after == events[1].wealth_before
+        assert events[1].rejected
+
+    def test_zero_budget_acceptance_is_free(self):
+        ledger = WealthLedger(alpha=0.05)
+        before = ledger.wealth
+        ledger.settle(0.0, rejected=False)
+        assert ledger.wealth == before
+
+
+class TestFeasibility:
+    def test_max_affordable_solves_charge_equation(self):
+        ledger = WealthLedger(alpha=0.05)
+        budget = ledger.max_affordable_budget()
+        # Charging this budget consumes exactly the available wealth.
+        assert WealthLedger.charge_for(budget) == pytest.approx(ledger.wealth)
+
+    def test_wealth_never_negative_at_max_budget(self):
+        ledger = WealthLedger(alpha=0.05)
+        for _ in range(200):
+            budget = ledger.max_affordable_budget()
+            if budget <= 0:
+                break
+            ledger.settle(budget, rejected=False)
+            assert ledger.wealth >= -1e-12
+
+    def test_paper_bound_typo_would_overdraw(self):
+        """Sec. 5.1 prints alpha_j <= W/(1-W); that bound overdraws wealth."""
+        ledger = WealthLedger(alpha=0.5, eta=0.9)  # W(0) = 0.45
+        w = ledger.wealth
+        paper_bound = w / (1.0 - w)  # 0.818...
+        assert WealthLedger.charge_for(paper_bound) > w  # would go negative
+        ours = ledger.max_affordable_budget()
+        assert WealthLedger.charge_for(ours) <= w + 1e-12
+
+    def test_unaffordable_budget_rejected(self):
+        ledger = WealthLedger(alpha=0.05)
+        with pytest.raises(InvalidParameterError):
+            ledger.settle(0.9, rejected=False)
+
+    def test_can_afford_boundary(self):
+        ledger = WealthLedger(alpha=0.05)
+        assert ledger.can_afford(ledger.max_affordable_budget())
+        assert not ledger.can_afford(0.99)
+        assert not ledger.can_afford(0.0)
+        assert not ledger.can_afford(1.0)
+
+    def test_exhausted_ledger_affords_nothing(self):
+        ledger = WealthLedger(alpha=0.05)
+        ledger.settle(ledger.max_affordable_budget(), rejected=False)
+        assert ledger.wealth == pytest.approx(0.0, abs=1e-12)
+        assert ledger.max_affordable_budget() == 0.0
+
+    def test_clamp_budget(self):
+        ledger = WealthLedger(alpha=0.05)
+        assert ledger.clamp_budget(0.9) == ledger.max_affordable_budget()
+        assert ledger.clamp_budget(-0.5) == 0.0
+        assert ledger.clamp_budget(0.001) == 0.001
+
+
+class TestReset:
+    def test_reset_restores_initial_state(self):
+        ledger = WealthLedger(alpha=0.05)
+        ledger.settle(0.01, rejected=True)
+        ledger.settle(0.01, rejected=False)
+        ledger.reset()
+        assert ledger.wealth == ledger.initial_wealth
+        assert ledger.events == ()
+
+
+class TestMFDRIdentity:
+    def test_wealth_identity_bounds_discoveries(self, rng):
+        """E[V] <= alpha * (E[R] + eta) follows from the wealth martingale;
+        sanity-check the bookkeeping identity W(j) >= W(0) + omega*R - charges."""
+        ledger = WealthLedger(alpha=0.05)
+        rejections = 0
+        charges = 0.0
+        for _ in range(100):
+            budget = min(0.01, ledger.max_affordable_budget())
+            if budget <= 0:
+                break
+            rejected = bool(rng.random() < 0.3)
+            if rejected:
+                rejections += 1
+            else:
+                charges += WealthLedger.charge_for(budget)
+            ledger.settle(budget, rejected)
+        expected = ledger.initial_wealth + ledger.omega * rejections - charges
+        assert ledger.wealth == pytest.approx(max(expected, 0.0), abs=1e-9)

@@ -1,0 +1,74 @@
+"""Property-based tests for the generalized α-investing engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.procedures.alpha_investing.generalized import (
+    ConstantLevelGAI,
+    GAIBid,
+    GAIInvesting,
+    ProportionalGAI,
+)
+
+p_value_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=60
+)
+gai_policies = st.one_of(
+    st.floats(min_value=0.02, max_value=0.8).map(lambda r: ProportionalGAI(rate=r)),
+    st.tuples(
+        st.floats(min_value=0.001, max_value=0.05),
+        st.floats(min_value=0.002, max_value=0.03),
+    ).map(lambda lf: ConstantLevelGAI(level=lf[0], fee=lf[1])),
+)
+
+
+class TestGAIEngineProperties:
+    @given(policy=gai_policies, p_values=p_value_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_wealth_and_decision_invariants(self, policy, p_values):
+        proc = GAIInvesting(policy, alpha=0.05)
+        for p in p_values:
+            before = proc.wealth
+            d = proc.test(p)
+            assert proc.wealth >= 0.0
+            assert 0.0 <= d.level < 1.0
+            assert d.rejected == (not d.exhausted and p <= d.level)
+            if d.exhausted:
+                assert proc.wealth == before  # skipped tests cost nothing
+
+    @given(policy=gai_policies, p_values=p_value_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_determinism_and_reset(self, policy, p_values):
+        proc = GAIInvesting(policy, alpha=0.05)
+        first = [proc.test(p).rejected for p in p_values]
+        proc.reset()
+        second = [proc.test(p).rejected for p in p_values]
+        assert first == second
+
+    @given(
+        alpha=st.floats(min_value=0.01, max_value=0.3),
+        alpha_j=st.floats(min_value=1e-6, max_value=0.99),
+        phi_j=st.floats(min_value=1e-6, max_value=1.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_reward_bounds_always_hold(self, alpha, alpha_j, phi_j):
+        bid = GAIBid(alpha_j=alpha_j, phi_j=phi_j)
+        psi = GAIInvesting.max_reward(bid, alpha)
+        assert psi >= 0.0
+        assert psi <= phi_j + alpha + 1e-12
+        assert psi <= max(0.0, phi_j / alpha_j + alpha - 1.0) + 1e-12
+
+    @given(
+        alpha=st.floats(min_value=0.01, max_value=0.3),
+        alpha_j=st.floats(min_value=1e-4, max_value=0.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_supermartingale_drift_non_positive_under_null(self, alpha, alpha_j):
+        """E[dB | true null] >= 0 for B = alpha*R - V - W + W(0): the exact
+        condition the reward bound was derived from."""
+        phi = 2.0 * alpha_j  # any fee above the level
+        bid = GAIBid(alpha_j=alpha_j, phi_j=phi)
+        psi = GAIInvesting.max_reward(bid, alpha)
+        # Under a true null, rejection probability is exactly alpha_j.
+        drift = alpha_j * (alpha - 1.0 - psi) + phi
+        assert drift >= -1e-12

@@ -1,0 +1,100 @@
+"""Property-based tests: the predicate algebra over random tiny datasets."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exploration.dataset import Dataset
+from repro.exploration.predicate import And, Eq, Not, Or, Range
+
+COLORS = ("red", "blue", "green")
+
+
+@st.composite
+def datasets(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    colors = draw(st.lists(st.sampled_from(COLORS), min_size=n, max_size=n))
+    values = draw(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return Dataset(
+        {"color": colors, "value": values},
+        categorical=["color"],
+        category_universe={"color": COLORS},
+    )
+
+
+@st.composite
+def predicates(draw, depth=2):
+    if depth == 0:
+        choice = draw(st.integers(0, 1))
+        if choice == 0:
+            return Eq("color", draw(st.sampled_from(COLORS)))
+        lo = draw(st.floats(min_value=-100, max_value=99, allow_nan=False))
+        hi = draw(st.floats(min_value=lo + 0.001, max_value=101, allow_nan=False))
+        return Range("value", lo, hi)
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(predicates(depth=0))
+    if kind == 1:
+        return Not(draw(predicates(depth=depth - 1)))
+    ops = draw(st.lists(predicates(depth=depth - 1), min_size=1, max_size=3))
+    return And(tuple(ops)) if kind == 2 else Or(tuple(ops))
+
+
+class TestAlgebraicLaws:
+    @given(ds=datasets(), p=predicates())
+    @settings(max_examples=100, deadline=None)
+    def test_negation_is_complement(self, ds, p):
+        np.testing.assert_array_equal(Not(p).mask(ds), ~p.mask(ds))
+
+    @given(ds=datasets(), p=predicates())
+    @settings(max_examples=100, deadline=None)
+    def test_double_negation_identity(self, ds, p):
+        np.testing.assert_array_equal(Not(Not(p)).mask(ds), p.mask(ds))
+
+    @given(ds=datasets(), p=predicates(), q=predicates())
+    @settings(max_examples=100, deadline=None)
+    def test_de_morgan(self, ds, p, q):
+        left = Not(And((p, q))).mask(ds)
+        right = Or((Not(p), Not(q))).mask(ds)
+        np.testing.assert_array_equal(left, right)
+
+    @given(ds=datasets(), p=predicates())
+    @settings(max_examples=100, deadline=None)
+    def test_normalization_preserves_semantics(self, ds, p):
+        np.testing.assert_array_equal(p.normalize().mask(ds), p.mask(ds))
+
+    @given(ds=datasets(), p=predicates(), q=predicates())
+    @settings(max_examples=100, deadline=None)
+    def test_and_commutative(self, ds, p, q):
+        np.testing.assert_array_equal(And((p, q)).mask(ds), And((q, p)).mask(ds))
+
+    @given(p=predicates())
+    @settings(max_examples=100, deadline=None)
+    def test_complement_detection_symmetry(self, p):
+        assert Not(p).is_complement_of(p)
+        assert p.is_complement_of(Not(p))
+
+    @given(p=predicates())
+    @settings(max_examples=100, deadline=None)
+    def test_normalization_idempotent(self, p):
+        once = p.normalize()
+        assert once.normalize() == once
+
+
+class TestHistogramConservation:
+    @given(ds=datasets(), p=predicates())
+    @settings(max_examples=80, deadline=None)
+    def test_filtered_counts_partition_totals(self, ds, p):
+        from repro.exploration.histogram import categorical_histogram
+
+        full = categorical_histogram(ds, "color")
+        yes = categorical_histogram(ds, "color", p)
+        no = categorical_histogram(ds, "color", Not(p))
+        for label in full.labels:
+            assert yes.as_dict()[label] + no.as_dict()[label] == full.as_dict()[label]

@@ -1,0 +1,137 @@
+"""Stateful property test: random AWARE session operations keep invariants.
+
+A hypothesis RuleBasedStateMachine drives an :class:`ExplorationSession`
+through random interleavings of panel shows, deletions, stars and
+overrides, checking after every step that
+
+* wealth is never negative and matches the ledger,
+* the active stream always equals what a fresh replay would decide
+  (internal consistency of the revision machinery),
+* append-only operations never change earlier decisions,
+* history/stream bookkeeping stays coherent (statuses, ids, ordering).
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.exploration.dataset import Dataset
+from repro.exploration.hypotheses import HypothesisStatus
+from repro.exploration.predicate import Eq
+from repro.exploration.session import ExplorationSession
+from repro.procedures.registry import make_procedure
+
+_COLORS = ("red", "blue", "green")
+_SHAPES = ("circle", "square", "triangle", "star")
+_SIZES = ("small", "large")
+
+
+def _build_dataset() -> Dataset:
+    rng = np.random.default_rng(987)
+    n = 900
+    color = rng.choice(_COLORS, size=n)
+    # Planted: shape depends on color (some signal to discover).
+    shape_probs = {
+        "red": [0.4, 0.3, 0.2, 0.1],
+        "blue": [0.1, 0.4, 0.3, 0.2],
+        "green": [0.25, 0.25, 0.25, 0.25],
+    }
+    shape = np.array([rng.choice(_SHAPES, p=shape_probs[c]) for c in color])
+    size = rng.choice(_SIZES, size=n)  # independent noise
+    return Dataset(
+        {"color": color, "shape": shape, "size": size},
+        categorical=["color", "shape", "size"],
+        name="property-machine",
+    )
+
+
+_DATASET = _build_dataset()
+
+
+class SessionMachine(RuleBasedStateMachine):
+    @initialize()
+    def start(self):
+        self.session = ExplorationSession(
+            _DATASET, procedure="epsilon-hybrid", alpha=0.05
+        )
+        self.appended_snapshots: list[list[bool]] = []
+        self.revised = False
+
+    @rule(
+        target_attr=st.sampled_from(("color", "shape")),
+        filter_attr=st.sampled_from(("color", "shape", "size")),
+        category_index=st.integers(min_value=0, max_value=3),
+    )
+    def show_panel(self, target_attr, filter_attr, category_index):
+        if target_attr == filter_attr:
+            return
+        categories = _DATASET.categories(filter_attr)
+        category = categories[category_index % len(categories)]
+        self.session.show(target_attr, where=Eq(filter_attr, category))
+        if not self.revised:
+            self.appended_snapshots.append(
+                [h.rejected for h in self.session.active_hypotheses()]
+            )
+
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def star_something(self, pick):
+        history = self.session.history()
+        if history:
+            self.session.star(history[pick % len(history)].hypothesis_id)
+
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def delete_something(self, pick):
+        active = self.session.active_hypotheses()
+        if active:
+            self.session.delete(active[pick % len(active)].hypothesis_id)
+            self.revised = True
+            self.appended_snapshots = []
+
+    @invariant()
+    def wealth_non_negative(self):
+        if not hasattr(self, "session"):
+            return
+        assert self.session.wealth >= -1e-12
+
+    @invariant()
+    def stream_matches_fresh_replay(self):
+        if not hasattr(self, "session"):
+            return
+        fresh = make_procedure("epsilon-hybrid", alpha=0.05)
+        for hyp in self.session.active_hypotheses():
+            decision = fresh.test(hyp.result.p_value, hyp.support_fraction)
+            assert decision.rejected == hyp.rejected
+        assert abs(fresh.wealth - self.session.wealth) < 1e-9 or np.isnan(
+            self.session.wealth
+        )
+
+    @invariant()
+    def appends_never_overturn(self):
+        if not hasattr(self, "session") or not self.appended_snapshots:
+            return
+        final = self.appended_snapshots[-1]
+        for i, snapshot in enumerate(self.appended_snapshots):
+            assert snapshot == final[: len(snapshot)]
+
+    @invariant()
+    def bookkeeping_coherent(self):
+        if not hasattr(self, "session"):
+            return
+        history = self.session.history()
+        active_ids = [h.hypothesis_id for h in self.session.active_hypotheses()]
+        # Active hypotheses are exactly the ACTIVE-status ones, in order.
+        expected = [
+            h.hypothesis_id for h in history if h.status is HypothesisStatus.ACTIVE
+        ]
+        assert sorted(active_ids) == sorted(expected)
+        # Superseded hypotheses always point at a real successor.
+        for h in history:
+            if h.status is HypothesisStatus.SUPERSEDED:
+                assert h.superseded_by in {x.hypothesis_id for x in history}
+
+
+SessionMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)
+TestSessionMachine = SessionMachine.TestCase

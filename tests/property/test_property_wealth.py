@@ -1,0 +1,125 @@
+"""Property-based tests: the wealth ledger and investing engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.procedures.alpha_investing import (
+    AlphaInvesting,
+    BetaFarsighted,
+    DeltaHopeful,
+    EpsilonHybrid,
+    GammaFixed,
+    PsiSupport,
+)
+from repro.procedures.alpha_investing.wealth import WealthLedger
+
+alphas = st.floats(min_value=0.005, max_value=0.3)
+p_value_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=80
+)
+outcome_lists = st.lists(st.booleans(), min_size=1, max_size=60)
+
+policy_builders = st.sampled_from(
+    [
+        lambda: BetaFarsighted(0.25),
+        lambda: BetaFarsighted(0.9),
+        lambda: GammaFixed(5.0),
+        lambda: GammaFixed(100.0),
+        lambda: DeltaHopeful(10.0),
+        lambda: EpsilonHybrid(0.5, 10.0, 10.0),
+        lambda: EpsilonHybrid(0.25, 20.0, 5.0, window=8),
+        lambda: PsiSupport(0.5, 10.0),
+    ]
+)
+
+
+class TestLedgerProperties:
+    @given(alpha=alphas, outcomes=outcome_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_wealth_never_negative(self, alpha, outcomes):
+        ledger = WealthLedger(alpha=alpha)
+        for rejected in outcomes:
+            budget = ledger.max_affordable_budget() / 2.0
+            if budget <= 0:
+                break
+            ledger.settle(budget, rejected)
+            assert ledger.wealth >= 0.0
+
+    @given(alpha=alphas, outcomes=outcome_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_eq5_bookkeeping_identity(self, alpha, outcomes):
+        """W(j) = W(0) + omega*R(j) - sum of charges (while wealth lasts)."""
+        ledger = WealthLedger(alpha=alpha)
+        rejections = 0
+        charges = 0.0
+        for rejected in outcomes:
+            budget = min(0.4 * ledger.max_affordable_budget(), alpha)
+            if budget <= 0:
+                break
+            ledger.settle(budget, rejected)
+            if rejected:
+                rejections += 1
+            else:
+                charges += budget / (1.0 - budget)
+        expected = ledger.initial_wealth + ledger.omega * rejections - charges
+        assert ledger.wealth == max(expected, 0.0) or abs(
+            ledger.wealth - expected
+        ) < 1e-9
+
+    @given(alpha=alphas)
+    @settings(max_examples=60, deadline=None)
+    def test_max_affordable_is_exact_fixed_point(self, alpha):
+        ledger = WealthLedger(alpha=alpha)
+        budget = ledger.max_affordable_budget()
+        assert WealthLedger.charge_for(budget) <= ledger.wealth * (1 + 1e-12)
+
+
+class TestEngineProperties:
+    @given(make_policy=policy_builders, p_values=p_value_lists, alpha=alphas)
+    @settings(max_examples=80, deadline=None)
+    def test_invariants_hold_for_any_stream(self, make_policy, p_values, alpha):
+        proc = AlphaInvesting(make_policy(), alpha=alpha)
+        for p in p_values:
+            before = proc.wealth
+            d = proc.test(p)
+            # Wealth never negative.
+            assert proc.wealth >= 0.0
+            # Budgets are feasible and below 1.
+            assert 0.0 <= d.level < 1.0
+            if not d.exhausted:
+                assert d.level / (1.0 - d.level) <= before + 1e-9
+            # Rejection iff p <= granted budget (exhausted tests never reject).
+            assert d.rejected == (not d.exhausted and p <= d.level)
+            # Ledger wiring in the decision record.
+            assert d.wealth_after == proc.wealth
+
+    @given(make_policy=policy_builders, p_values=p_value_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_determinism(self, make_policy, p_values):
+        a = AlphaInvesting(make_policy(), alpha=0.05)
+        b = AlphaInvesting(make_policy(), alpha=0.05)
+        for p in p_values:
+            assert a.test(p).rejected == b.test(p).rejected
+
+    @given(p_values=p_value_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_beta_farsighted_preserves_beta_fraction(self, p_values):
+        beta = 0.5
+        proc = AlphaInvesting(BetaFarsighted(beta), alpha=0.05)
+        for p in p_values:
+            before = proc.wealth
+            d = proc.test(p)
+            if not d.rejected:
+                # Clamping at alpha can only make the charge smaller, so
+                # the post-acceptance wealth is at least beta * W(j-1).
+                assert proc.wealth >= beta * before - 1e-12
+
+    @given(p_values=p_value_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_reset_restores_initial_behaviour(self, p_values):
+        proc = AlphaInvesting(DeltaHopeful(10.0), alpha=0.05)
+        first = [proc.test(p).rejected for p in p_values]
+        proc.reset()
+        second = [proc.test(p).rejected for p in p_values]
+        assert first == second

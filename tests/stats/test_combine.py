@@ -1,0 +1,57 @@
+"""p-value combination: Fisher and Stouffer."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.errors import InsufficientDataError, InvalidParameterError
+from repro.stats.combine import fisher_combine, stouffer_combine
+
+
+class TestFisher:
+    def test_matches_scipy(self, rng):
+        ps = rng.uniform(0.001, 0.999, size=8)
+        ours = fisher_combine(ps)
+        theirs = scipy_stats.combine_pvalues(ps, method="fisher").pvalue
+        assert ours == pytest.approx(theirs, rel=1e-9)
+
+    def test_single_pvalue_identity(self):
+        assert fisher_combine([0.2]) == pytest.approx(0.2, rel=1e-9)
+
+    def test_strong_evidence_dominates(self):
+        assert fisher_combine([1e-8, 0.5, 0.5]) < 1e-4
+
+    def test_zero_pvalue_clipped_not_nan(self):
+        assert 0.0 <= fisher_combine([0.0, 0.5]) <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            fisher_combine([])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            fisher_combine([0.5, 1.2])
+
+
+class TestStouffer:
+    def test_matches_scipy(self, rng):
+        ps = rng.uniform(0.01, 0.99, size=6)
+        ours = stouffer_combine(ps)
+        theirs = scipy_stats.combine_pvalues(ps, method="stouffer").pvalue
+        assert ours == pytest.approx(theirs, rel=1e-9)
+
+    def test_weighted_matches_scipy(self, rng):
+        ps = rng.uniform(0.01, 0.99, size=5)
+        w = rng.uniform(0.5, 2.0, size=5)
+        ours = stouffer_combine(ps, weights=w)
+        theirs = scipy_stats.combine_pvalues(ps, method="stouffer", weights=w).pvalue
+        assert ours == pytest.approx(theirs, rel=1e-9)
+
+    def test_uniform_halves_stay_half(self):
+        assert stouffer_combine([0.5, 0.5, 0.5]) == pytest.approx(0.5, abs=1e-12)
+
+    def test_weight_validation(self):
+        with pytest.raises(InvalidParameterError):
+            stouffer_combine([0.5, 0.5], weights=[1.0])
+        with pytest.raises(InvalidParameterError):
+            stouffer_combine([0.5, 0.5], weights=[1.0, 0.0])

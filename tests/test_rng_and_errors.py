@@ -1,0 +1,76 @@
+"""Seed handling and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.rng import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        assert isinstance(as_generator(ss), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_streams(self):
+        children = spawn(0, 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_reproducible(self):
+        a = [c.random(3).tolist() for c in spawn(5, 2)]
+        b = [c.random(3).tolist() for c in spawn(5, 2)]
+        assert a == b
+
+    def test_spawn_from_generator_advances_parent(self):
+        rng = np.random.default_rng(1)
+        children = spawn(rng, 2)
+        assert len(children) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+    def test_zero_count(self):
+        assert spawn(0, 0) == []
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.InvalidParameterError,
+        errors.InsufficientDataError,
+        errors.WealthExhaustedError,
+        errors.ProcedureStateError,
+        errors.UnknownProcedureError,
+        errors.SchemaError,
+        errors.PredicateError,
+        errors.SessionError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_value_error_compatibility(self):
+        # Callers using plain ValueError still catch parameter errors.
+        assert issubclass(errors.InvalidParameterError, ValueError)
+        assert issubclass(errors.SchemaError, ValueError)
+
+    def test_key_error_compatibility(self):
+        assert issubclass(errors.UnknownProcedureError, KeyError)
+
+    def test_one_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SessionError("boom")

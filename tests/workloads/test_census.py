@@ -1,0 +1,95 @@
+"""Synthetic census: schema, planted dependencies, independence controls."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.stats.tests import chi_square_independence, t_test_two_sample
+from repro.workloads.census import (
+    CENSUS_CATEGORICAL,
+    CENSUS_NUMERIC,
+    DEPENDENT_PAIRS,
+    INDEPENDENT_ATTRIBUTES,
+    make_census,
+)
+
+
+def contingency(ds, a, b):
+    """Contingency table between two categorical columns."""
+    rows = []
+    for va in ds.categories(a):
+        mask = ds.values(a) == va
+        vals = ds.values(b, mask)
+        rows.append([(vals == vb).sum() for vb in ds.categories(b)])
+    return rows
+
+
+class TestSchema:
+    def test_columns_present(self, census):
+        for name in CENSUS_CATEGORICAL + CENSUS_NUMERIC:
+            assert name in census.column_names
+
+    def test_categorical_typing(self, census):
+        for name in CENSUS_CATEGORICAL:
+            assert census.is_categorical(name)
+        for name in CENSUS_NUMERIC:
+            assert not census.is_categorical(name)
+
+    def test_row_count(self):
+        assert make_census(500, seed=1).n_rows == 500
+
+    def test_reproducible(self):
+        a = make_census(1000, seed=9)
+        b = make_census(1000, seed=9)
+        np.testing.assert_array_equal(a.values("age"), b.values("age"))
+        np.testing.assert_array_equal(a.values("education"), b.values("education"))
+
+    def test_minimum_rows_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            make_census(50)
+
+    def test_plausible_ranges(self, census):
+        age = census.values("age")
+        hours = census.values("hours_per_week")
+        assert age.min() >= 18 and age.max() <= 90
+        assert hours.min() >= 5 and hours.max() <= 80
+
+
+class TestPlantedDependencies:
+    @pytest.mark.parametrize(
+        "a,b",
+        [p for p in DEPENDENT_PAIRS if p[0] in CENSUS_CATEGORICAL and p[1] in CENSUS_CATEGORICAL],
+    )
+    def test_categorical_dependencies_significant(self, census, a, b):
+        result = chi_square_independence(contingency(census, a, b))
+        assert result.p_value < 1e-4, f"{a} -> {b} should be dependent"
+
+    def test_age_marital_dependency(self, census):
+        married = census.values("age", census.values("marital_status") == "Married")
+        never = census.values("age", census.values("marital_status") == "Never Married")
+        assert t_test_two_sample(married, never).p_value < 1e-10
+        assert married.mean() > never.mean()
+
+    def test_hours_salary_dependency(self, census):
+        high = census.values("hours_per_week", census.values("salary_over_50k") == "True")
+        low = census.values("hours_per_week", census.values("salary_over_50k") == "False")
+        assert t_test_two_sample(high, low).p_value < 1e-6
+        assert high.mean() > low.mean()
+
+    def test_education_raises_salary(self, census):
+        edu = census.values("education")
+        sal = census.values("salary_over_50k") == "True"
+        rate_phd = sal[edu == "PhD"].mean()
+        rate_hs = sal[edu == "HS"].mean()
+        assert rate_phd > rate_hs + 0.2
+
+
+class TestIndependenceControls:
+    @pytest.mark.parametrize("attr", INDEPENDENT_ATTRIBUTES)
+    def test_independent_of_salary(self, census, attr):
+        result = chi_square_independence(contingency(census, attr, "salary_over_50k"))
+        assert result.p_value > 0.001, f"{attr} should be independent of salary"
+
+    def test_race_independent_of_education(self, census):
+        result = chi_square_independence(contingency(census, "race", "education"))
+        assert result.p_value > 0.001

@@ -1,0 +1,47 @@
+"""Ground-truth labelling: Bonferroni on full data (Sec. 7.3)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.ground_truth import label_ground_truth
+from repro.workloads.user_study import make_user_study_workflow
+
+
+@pytest.fixture(scope="module")
+def labelled(census):
+    workflow = make_user_study_workflow(census, n_steps=60, seed=42)
+    return label_ground_truth(workflow, census, alpha=0.05)
+
+
+class TestLabelling:
+    def test_masks_aligned(self, labelled):
+        assert labelled.null_mask.shape == (60,)
+        assert labelled.full_p_values.shape == (60,)
+        assert len(labelled) == 60
+
+    def test_some_alternatives_found_on_census(self, labelled):
+        # The planted dependencies must surface even under Bonferroni.
+        assert labelled.num_alternatives > 0
+        assert labelled.num_alternatives < 60
+
+    def test_labels_match_bonferroni_rule(self, labelled):
+        threshold = 0.05 / 60
+        expected_significant = labelled.full_p_values <= threshold
+        np.testing.assert_array_equal(~labelled.null_mask, expected_significant)
+
+    def test_randomized_census_all_null(self, census):
+        workflow = make_user_study_workflow(census, n_steps=40, seed=43)
+        permuted = census.permute_columns(seed=8)
+        labelled = label_ground_truth(workflow, permuted, alpha=0.05)
+        assert labelled.num_alternatives == 0
+
+    def test_alternatives_are_planted_pairs(self, census, labelled):
+        """Steps labelled significant should involve dependent attributes."""
+        from repro.workloads.census import INDEPENDENT_ATTRIBUTES
+
+        for step, is_null in zip(labelled.workflow.steps, labelled.null_mask):
+            if is_null:
+                continue
+            involved = {step.target_attribute} | set(step.predicate.columns())
+            # A truly-significant step cannot involve ONLY independent attrs.
+            assert not involved.issubset(set(INDEPENDENT_ATTRIBUTES))

@@ -1,0 +1,126 @@
+"""Synthetic Exp.1 streams: composition, calibration, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.workloads.synthetic import (
+    PAPER_EFFECT_SIZES,
+    TwoSampleStreamGenerator,
+    ZStreamGenerator,
+)
+
+
+class TestZStreamComposition:
+    def test_null_count_matches_proportion(self):
+        stream = ZStreamGenerator(m=64, null_proportion=0.75).sample(0)
+        assert stream.null_mask.sum() == 48
+        assert stream.num_alternatives == 16
+
+    def test_complete_null(self):
+        stream = ZStreamGenerator(m=32, null_proportion=1.0).sample(0)
+        assert stream.null_mask.all()
+        assert stream.num_alternatives == 0
+
+    def test_null_positions_vary_across_draws(self):
+        gen = ZStreamGenerator(m=64, null_proportion=0.5)
+        a = gen.sample(1).null_mask
+        b = gen.sample(2).null_mask
+        assert not np.array_equal(a, b)
+
+    def test_effects_cycle_through_paper_levels(self):
+        stream = ZStreamGenerator(m=100, null_proportion=0.0).sample(0)
+        effects = np.array([h.effect for h in stream.instances])
+        values, counts = np.unique(effects, return_counts=True)
+        assert set(values) == set(PAPER_EFFECT_SIZES)
+        assert counts.max() - counts.min() <= 1  # equal proportions
+
+    def test_reproducible_given_seed(self):
+        gen = ZStreamGenerator(m=20, null_proportion=0.5)
+        a = gen.sample(7).p_values
+        b = gen.sample(7).p_values
+        np.testing.assert_array_equal(a, b)
+
+    def test_length(self):
+        assert len(ZStreamGenerator(m=10, null_proportion=0.5).sample(0)) == 10
+
+
+class TestZStreamCalibration:
+    def test_null_p_values_are_uniform(self):
+        gen = ZStreamGenerator(m=2000, null_proportion=1.0)
+        p = gen.sample(3).p_values
+        # Kolmogorov-Smirnov-ish coarse check on quartiles.
+        for q in (0.25, 0.5, 0.75):
+            assert np.mean(p <= q) == pytest.approx(q, abs=0.03)
+
+    def test_alternative_p_values_are_small(self):
+        gen = ZStreamGenerator(m=400, null_proportion=0.0)
+        p = gen.sample(4).p_values
+        assert np.median(p) < 0.01
+
+    def test_sample_fraction_shrinks_evidence(self):
+        full = ZStreamGenerator(m=500, null_proportion=0.0, sample_fraction=1.0)
+        tiny = ZStreamGenerator(m=500, null_proportion=0.0, sample_fraction=0.05)
+        p_full = full.sample(5).p_values
+        p_tiny = tiny.sample(5).p_values
+        assert np.median(p_tiny) > np.median(p_full)
+
+    def test_sample_fraction_recorded_as_support(self):
+        stream = ZStreamGenerator(m=10, null_proportion=0.5, sample_fraction=0.3).sample(0)
+        assert np.all(stream.support_fractions == 0.3)
+
+    def test_heterogeneous_support_range(self):
+        gen = ZStreamGenerator(m=200, null_proportion=0.5, support_range=(0.1, 0.9))
+        stream = gen.sample(6)
+        fracs = stream.support_fractions
+        assert fracs.min() >= 0.1 and fracs.max() <= 0.9
+        assert np.std(fracs) > 0.1
+
+
+class TestZStreamValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"m": 0, "null_proportion": 0.5},
+        {"m": 10, "null_proportion": -0.1},
+        {"m": 10, "null_proportion": 1.1},
+        {"m": 10, "null_proportion": 0.5, "sample_fraction": 0.0},
+        {"m": 10, "null_proportion": 0.5, "effect_sizes": ()},
+        {"m": 10, "null_proportion": 0.5, "support_range": (0.0, 0.5)},
+        {"m": 10, "null_proportion": 0.5, "support_range": (0.9, 0.1)},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            ZStreamGenerator(**kwargs)
+
+
+class TestTwoSampleStream:
+    def test_composition(self):
+        stream = TwoSampleStreamGenerator(m=20, null_proportion=0.5).sample(0)
+        assert len(stream) == 20
+        assert stream.null_mask.sum() == 10
+
+    def test_data_level_matches_statistic_level_power(self):
+        """The Welch-test stream discovers alternatives at a rate close to
+        the z-stream with the same non-centrality."""
+        z_gen = ZStreamGenerator(m=300, null_proportion=0.0)
+        t_gen = TwoSampleStreamGenerator(m=300, null_proportion=0.0, n_per_group=200)
+        z_rate = np.mean(z_gen.sample(1).p_values <= 0.05)
+        t_rate = np.mean(t_gen.sample(1).p_values <= 0.05)
+        assert t_rate == pytest.approx(z_rate, abs=0.08)
+
+    def test_null_uniformity(self):
+        stream = TwoSampleStreamGenerator(
+            m=400, null_proportion=1.0, n_per_group=50
+        ).sample(2)
+        assert np.mean(stream.p_values <= 0.05) == pytest.approx(0.05, abs=0.03)
+
+    def test_sample_fraction_floor(self):
+        gen = TwoSampleStreamGenerator(
+            m=5, null_proportion=1.0, n_per_group=10, sample_fraction=0.01
+        )
+        stream = gen.sample(0)
+        # Sub-sample cannot go below 2 per group.
+        assert stream.support_fractions[0] == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TwoSampleStreamGenerator(m=5, null_proportion=0.5, n_per_group=1)

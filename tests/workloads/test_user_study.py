@@ -1,0 +1,86 @@
+"""User-study workflow: generation contracts, execution, robustness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.workloads.user_study import StepKind, make_user_study_workflow
+
+
+@pytest.fixture(scope="module")
+def workflow(census):
+    return make_user_study_workflow(census, n_steps=115, seed=42)
+
+
+class TestGeneration:
+    def test_exact_step_count(self, workflow):
+        assert len(workflow) == 115
+
+    def test_deterministic_given_seed(self, census):
+        a = make_user_study_workflow(census, n_steps=30, seed=1)
+        b = make_user_study_workflow(census, n_steps=30, seed=1)
+        assert [s.describe() for s in a.steps] == [s.describe() for s in b.steps]
+
+    def test_distinct_steps(self, workflow):
+        keys = [f"{s.kind.value}::{s.describe()}" for s in workflow.steps]
+        assert len(set(keys)) == len(keys)
+
+    def test_kind_mix_mostly_distribution_comparisons(self, workflow):
+        kinds = [s.kind for s in workflow.steps]
+        rule_like = sum(1 for k in kinds if k in (StepKind.RULE2, StepKind.RULE3))
+        assert rule_like / len(kinds) > 0.7  # "mostly comparing histograms"
+        assert any(k is StepKind.MEANS for k in kinds)
+
+    def test_filter_never_references_target(self, workflow):
+        for step in workflow.steps:
+            assert step.target_attribute not in step.predicate.columns()
+
+    def test_means_steps_have_numeric_targets(self, workflow, census):
+        for step in workflow.steps:
+            if step.kind is StepKind.MEANS:
+                assert not census.is_categorical(step.target_attribute)
+
+    def test_bin_edges_cover_numeric_targets(self, workflow, census):
+        for step in workflow.steps:
+            if not census.is_categorical(step.target_attribute):
+                assert step.target_attribute in workflow.bin_edges
+
+    def test_validation(self, census):
+        with pytest.raises(InvalidParameterError):
+            make_user_study_workflow(census, n_steps=0)
+        with pytest.raises(InvalidParameterError):
+            make_user_study_workflow(census, rule2_weight=-1.0)
+
+
+class TestExecution:
+    def test_full_run_produces_valid_pvalues(self, workflow, census):
+        outcomes = workflow.run(census)
+        assert len(outcomes) == 115
+        p = np.array([o.p_value for o in outcomes])
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_support_fractions_in_range(self, workflow, census):
+        outcomes = workflow.run(census)
+        fracs = np.array([o.support_fraction for o in outcomes])
+        assert np.all((fracs > 0) & (fracs <= 1))
+
+    def test_run_on_subsample_tolerates_thin_filters(self, workflow, census):
+        tiny = census.sample_fraction(0.02, seed=3)
+        outcomes = workflow.run(tiny)
+        assert len(outcomes) == 115
+        for o in outcomes:
+            if o.degenerate:
+                assert o.p_value == pytest.approx(1.0)
+
+    def test_p_values_helper_matches_run(self, workflow, census):
+        sample = census.sample_fraction(0.2, seed=4)
+        direct = workflow.p_values(sample)
+        via_run = np.array([o.p_value for o in workflow.run(sample)])
+        np.testing.assert_array_equal(direct, via_run)
+
+    def test_fixed_order_is_stable_across_datasets(self, workflow, census):
+        """Same steps in the same order regardless of the evaluated sample."""
+        sample = census.sample_fraction(0.5, seed=5)
+        a = [o.step.describe() for o in workflow.run(census)]
+        b = [o.step.describe() for o in workflow.run(sample)]
+        assert a == b
