@@ -45,6 +45,10 @@ def _census_stream_factory(
     randomized: bool,
 ):
     def factory(rng: np.random.Generator) -> StreamSample:
+        # ``sample_fraction`` returns a zero-copy view over the (possibly
+        # permuted) census, and every workflow step's predicate mask and
+        # histogram is memoized on that per-replication view — the 10–90 %
+        # sweeps no longer deep-copy ten columns per replication.
         base = census.permute_columns(rng) if randomized else census
         sample = base.sample_fraction(fraction, rng)
         outcomes = workflow.run(sample)

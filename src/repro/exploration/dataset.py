@@ -1,21 +1,47 @@
 """In-memory columnar dataset — the substrate AWARE explores.
 
-A tiny column store: categorical columns hold label arrays with a fixed
-category universe (so filtered histograms stay aligned with unfiltered
-ones), numeric columns hold float arrays.  Filtering is mask-based and
-cheap; down-sampling (Exp. 2's 10–90 % sweeps) and per-attribute binning
-live here too.
+Architecture note (the columnar engine)
+---------------------------------------
+This module is a small but real column store, rebuilt for interactive
+latency (Sec. 3's ~100 ms-per-gesture budget):
+
+* **Dictionary encoding** — categorical columns are encoded *once* at
+  construction into ``int32`` codes plus an immutable category table (the
+  sorted unique labels of the original data).  Every downstream operation
+  — ``Eq``/``In`` masks, histograms, permutation — works on integer codes;
+  label arrays are decoded lazily and only when a caller asks for raw
+  values.  Codes are immutable after construction.
+* **Zero-copy views** — ``select``/``sample_fraction`` return *views*:
+  they share the parent's physical column stores and carry only a
+  composed row-index into them.  Columns materialize per-view on first
+  access and are cached, so filtering the census per panel no longer
+  copies ten columns eagerly.
+* **Category universes are only inherited** — a filtered or sampled view
+  keeps the parent's category table, so histograms of sub-populations
+  stay aligned with unfiltered ones (chi-square needs aligned cells).
+* **Generation tokens** — every dataset or view gets a fresh generation
+  token at construction (see :mod:`repro.exploration.engine`).  Masks and
+  histograms are memoized per-dataset; because row content never mutates,
+  no invalidation is ever needed — a new view is a new cache.
+* **Cached numeric edges** — per-column min/max and equal-width bin edges
+  are computed once per dataset and reused, keeping binned histograms of
+  filtered views comparable and cheap.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import InvalidParameterError, SchemaError
+from repro.exploration.engine import (
+    DEFAULT_HISTOGRAM_CACHE_SIZE,
+    LRUCache,
+    mask_cache_entries,
+    next_generation,
+)
 from repro.rng import SeedLike, as_generator
 
 __all__ = ["ColumnType", "Column", "Dataset"]
@@ -28,27 +54,166 @@ class ColumnType(enum.Enum):
     NUMERIC = "numeric"
 
 
-@dataclass(frozen=True)
+class _ColumnStore:
+    """Full-length physical storage for one column, shared by all views.
+
+    Categorical stores hold ``int32`` codes plus the category table;
+    numeric stores hold a float array.  Decoded label arrays and the
+    category → code index are built lazily and cached.
+    """
+
+    __slots__ = ("name", "ctype", "categories", "codes", "values", "_decoded", "_code_index")
+
+    def __init__(
+        self,
+        name: str,
+        ctype: ColumnType,
+        categories: tuple = (),
+        codes: np.ndarray | None = None,
+        values: np.ndarray | None = None,
+    ) -> None:
+        if ctype is ColumnType.CATEGORICAL and not categories:
+            raise SchemaError(f"categorical column {name!r} needs categories")
+        self.name = name
+        self.ctype = ctype
+        self.categories = categories
+        # Physical arrays are aliased by every view; freeze them so an
+        # accidental in-place edit raises instead of silently desyncing
+        # codes from decoded labels across views.
+        if codes is not None:
+            codes.setflags(write=False)
+        if values is not None:
+            values.setflags(write=False)
+        self.codes = codes
+        self.values = values
+        self._decoded: np.ndarray | None = None
+        self._code_index: dict | None = None
+
+    def __len__(self) -> int:
+        base = self.codes if self.ctype is ColumnType.CATEGORICAL else self.values
+        return 0 if base is None else len(base)
+
+    def code_of(self, value) -> int | None:
+        """Integer code of *value*, or ``None`` when it is not a category."""
+        index = self._code_index
+        if index is None:
+            index = self._code_index = {c: i for i, c in enumerate(self.categories)}
+        try:
+            return index.get(value)
+        except TypeError:  # unhashable probe value can never be a category
+            return None
+
+    def decoded(self) -> np.ndarray:
+        """Full-length label array reconstructed from codes (cached)."""
+        if self._decoded is None:
+            table = np.asarray(self.categories)
+            decoded = table[self.codes]
+            decoded.setflags(write=False)
+            self._decoded = decoded
+        return self._decoded
+
+
+def _encode_categorical(
+    name: str, arr: np.ndarray, categories: tuple | None
+) -> tuple[tuple, np.ndarray]:
+    """Dictionary-encode *arr*, deriving or validating the category table.
+
+    Returns ``(categories, int32 codes)``; raises :class:`SchemaError` when
+    values fall outside a declared universe.
+    """
+    try:
+        uniq, inverse = np.unique(arr, return_inverse=True)
+        uniq_list = uniq.tolist()
+    except TypeError:
+        uniq_list = None  # mixed unorderable values: fall back to a dict pass
+    if categories is None:
+        pool = uniq_list if uniq_list is not None else set(arr.tolist())
+        categories = tuple(sorted(set(pool), key=str))
+    index = {c: i for i, c in enumerate(categories)}
+    if uniq_list is not None:
+        unknown = [u for u in uniq_list if u not in index]
+        if unknown:
+            raise SchemaError(
+                f"column {name!r} has values outside its declared "
+                f"universe: {sorted(map(str, unknown))}"
+            )
+        lut = np.fromiter((index[u] for u in uniq_list), dtype=np.int32, count=len(uniq_list))
+        codes = lut[inverse.reshape(-1)]
+    else:
+        values = arr.tolist()
+        unknown = {v for v in values if v not in index}
+        if unknown:
+            raise SchemaError(
+                f"column {name!r} has values outside its declared "
+                f"universe: {sorted(map(str, unknown))}"
+            )
+        codes = np.fromiter((index[v] for v in values), dtype=np.int32, count=len(values))
+    return categories, codes.astype(np.int32, copy=False)
+
+
 class Column:
-    """One named, typed column.
+    """One named, typed column *as seen through a dataset or view*.
 
     Categorical columns carry their full category universe — the sorted
     unique labels of the *original* data — so that histograms of filtered
     sub-populations keep empty categories instead of silently dropping
     them (a chi-square test needs aligned cells).
+
+    ``codes`` (categorical) and ``values`` materialize lazily on first
+    access and are cached per view; for the base dataset they are the
+    shared physical arrays, never a copy.
     """
 
-    name: str
-    ctype: ColumnType
-    values: np.ndarray
-    categories: tuple = ()
+    __slots__ = ("name", "ctype", "categories", "_store", "_row_index", "_codes", "_values")
 
-    def __post_init__(self) -> None:
-        if self.ctype is ColumnType.CATEGORICAL and not self.categories:
-            raise SchemaError(f"categorical column {self.name!r} needs categories")
+    def __init__(self, store: _ColumnStore, row_index: np.ndarray | None = None) -> None:
+        self.name = store.name
+        self.ctype = store.ctype
+        self.categories = store.categories
+        self._store = store
+        self._row_index = row_index
+        self._codes: np.ndarray | None = None
+        self._values: np.ndarray | None = None
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Dictionary codes (``int32``) of a categorical column."""
+        if self.ctype is not ColumnType.CATEGORICAL:
+            raise SchemaError(f"column {self.name!r} is numeric; it has no codes")
+        if self._codes is None:
+            base = self._store.codes
+            if self._row_index is None:
+                self._codes = base
+            else:
+                codes = base[self._row_index]
+                codes.setflags(write=False)  # shared by every reader of this view
+                self._codes = codes
+        return self._codes
+
+    @property
+    def values(self) -> np.ndarray:
+        """Raw (decoded) values of this column for the current view."""
+        if self._values is None:
+            if self.ctype is ColumnType.CATEGORICAL:
+                base = self._store.decoded()
+            else:
+                base = self._store.values
+            if self._row_index is None:
+                self._values = base
+            else:
+                values = base[self._row_index]
+                values.setflags(write=False)  # shared by every reader of this view
+                self._values = values
+        return self._values
+
+    def code_of(self, value) -> int | None:
+        """Integer code of *value* in this column's universe (or ``None``)."""
+        return self._store.code_of(value)
 
     def __len__(self) -> int:
-        return len(self.values)
+        if self._row_index is not None:
+            return len(self._row_index)
+        return len(self._store)
 
 
 class Dataset:
@@ -66,7 +231,7 @@ class Dataset:
         Display name used by visualizations and the gauge.
     category_universe:
         Optional per-column category tuples.  Filtered/sampled datasets
-        pass the parent's universe down so category sets never shrink.
+        inherit the parent's universe so category sets never shrink.
     """
 
     def __init__(
@@ -79,29 +244,19 @@ class Dataset:
         if not columns:
             raise SchemaError("a dataset needs at least one column")
         self.name = name
-        self._columns: dict[str, Column] = {}
         lengths = {len(v) for v in columns.values()}
         if len(lengths) != 1:
             raise SchemaError(f"columns have mismatched lengths: {sorted(lengths)}")
-        self._n_rows = lengths.pop()
+        n_rows = lengths.pop()
         universe = dict(category_universe or {})
         explicit = set(categorical) if categorical is not None else None
+        stores: dict[str, _ColumnStore] = {}
         for col_name, raw in columns.items():
             arr = np.asarray(raw)
-            is_cat = self._infer_categorical(col_name, arr, explicit)
-            if is_cat:
-                cats = universe.get(col_name)
-                if cats is None:
-                    cats = tuple(sorted(set(arr.tolist()), key=str))
-                else:
-                    unknown = set(arr.tolist()) - set(cats)
-                    if unknown:
-                        raise SchemaError(
-                            f"column {col_name!r} has values outside its declared "
-                            f"universe: {sorted(map(str, unknown))}"
-                        )
-                self._columns[col_name] = Column(
-                    col_name, ColumnType.CATEGORICAL, arr, tuple(cats)
+            if self._infer_categorical(col_name, arr, explicit):
+                cats, codes = _encode_categorical(col_name, arr, universe.get(col_name))
+                stores[col_name] = _ColumnStore(
+                    col_name, ColumnType.CATEGORICAL, tuple(cats), codes=codes
                 )
             else:
                 try:
@@ -111,13 +266,62 @@ class Dataset:
                         f"column {col_name!r} is not castable to float; declare it "
                         "categorical"
                     ) from exc
-                self._columns[col_name] = Column(col_name, ColumnType.NUMERIC, values)
+                stores[col_name] = _ColumnStore(col_name, ColumnType.NUMERIC, values=values)
+        self._init_state(stores, row_index=None, n_rows=n_rows)
 
     @staticmethod
     def _infer_categorical(name: str, arr: np.ndarray, explicit: set[str] | None) -> bool:
         if explicit is not None:
             return name in explicit
         return arr.dtype.kind in ("U", "S", "O", "b")
+
+    # -- engine plumbing -----------------------------------------------------
+
+    def _init_state(
+        self,
+        stores: dict[str, _ColumnStore],
+        row_index: np.ndarray | None,
+        n_rows: int,
+    ) -> None:
+        self._stores = stores
+        self._row_index = row_index
+        self._n_rows = int(n_rows)
+        self._generation = next_generation()
+        self._view_columns: dict[str, Column] = {}
+        self._mask_cache = LRUCache(mask_cache_entries(n_rows))
+        self._hist_cache = LRUCache(DEFAULT_HISTOGRAM_CACHE_SIZE)
+        self._edges_cache: dict[tuple[str, int], np.ndarray] = {}
+        self._minmax_cache: dict[str, tuple[float, float]] = {}
+
+    @classmethod
+    def _from_stores(cls, stores: dict[str, _ColumnStore], name: str, n_rows: int) -> "Dataset":
+        ds = object.__new__(cls)
+        ds.name = name
+        ds._init_state(stores, row_index=None, n_rows=n_rows)
+        return ds
+
+    def _view(self, base_index: np.ndarray, name: str) -> "Dataset":
+        """Zero-copy view sharing this dataset's stores at *base_index* rows."""
+        ds = object.__new__(type(self))
+        ds.name = name
+        ds._init_state(self._stores, row_index=base_index, n_rows=len(base_index))
+        return ds
+
+    def _base_index_for(self, positions: np.ndarray) -> np.ndarray:
+        """Translate view-local row positions into base-store row indices."""
+        if self._row_index is None:
+            return positions
+        return self._row_index[positions]
+
+    @property
+    def generation(self) -> int:
+        """Engine cache token: unique per logical row content, never reused."""
+        return self._generation
+
+    @property
+    def is_view(self) -> bool:
+        """True when this dataset is a row view over another dataset's stores."""
+        return self._row_index is not None
 
     # -- basic introspection -------------------------------------------------
 
@@ -132,16 +336,20 @@ class Dataset:
     @property
     def column_names(self) -> tuple[str, ...]:
         """All column names, in insertion order."""
-        return tuple(self._columns)
+        return tuple(self._stores)
 
     def column(self, name: str) -> Column:
         """Fetch a column by name, raising :class:`SchemaError` if absent."""
-        try:
-            return self._columns[name]
-        except KeyError:
-            raise SchemaError(
-                f"no column {name!r}; available: {list(self._columns)}"
-            ) from None
+        col = self._view_columns.get(name)
+        if col is None:
+            store = self._stores.get(name)
+            if store is None:
+                raise SchemaError(
+                    f"no column {name!r}; available: {list(self._stores)}"
+                )
+            col = Column(store, self._row_index)
+            self._view_columns[name] = col
+        return col
 
     def is_categorical(self, name: str) -> bool:
         """True when *name* is a categorical column."""
@@ -164,33 +372,52 @@ class Dataset:
             raise InvalidParameterError("mask length must equal the row count")
         return col.values[mask]
 
+    def codes(self, name: str) -> np.ndarray:
+        """Dictionary codes of a categorical column for this view."""
+        return self.column(name).codes
+
     # -- derivation ----------------------------------------------------------
 
     def _universe(self) -> dict[str, tuple]:
         return {
-            c.name: c.categories
-            for c in self._columns.values()
-            if c.ctype is ColumnType.CATEGORICAL
+            s.name: s.categories
+            for s in self._stores.values()
+            if s.ctype is ColumnType.CATEGORICAL
         }
 
     def select(self, mask: np.ndarray, name: str | None = None) -> "Dataset":
-        """New dataset containing only the rows where *mask* is True.
+        """View containing only the rows where *mask* is True (zero-copy).
 
         Categorical universes are inherited from this dataset so histograms
-        stay aligned.
+        stay aligned.  The result shares this dataset's physical column
+        stores; columns materialize lazily on first access.
         """
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != (self._n_rows,):
             raise InvalidParameterError("mask length must equal the row count")
-        return Dataset(
-            {c.name: c.values[mask] for c in self._columns.values()},
-            categorical=[n for n in self._columns if self.is_categorical(n)],
-            name=name or f"{self.name}[filtered]",
-            category_universe=self._universe(),
+        positions = np.flatnonzero(mask)
+        return self._view(
+            self._base_index_for(positions), name or f"{self.name}[filtered]"
+        )
+
+    def select_index(self, index: np.ndarray, name: str | None = None) -> "Dataset":
+        """View of the rows at *index* positions, in the given order."""
+        index = np.asarray(index)
+        if index.ndim != 1:
+            raise InvalidParameterError("row index must be one-dimensional")
+        if index.size and (index.min() < 0 or index.max() >= self._n_rows):
+            raise InvalidParameterError("row index out of bounds")
+        positions = index.astype(np.intp, copy=False)
+        return self._view(
+            self._base_index_for(positions), name or f"{self.name}[indexed]"
         )
 
     def sample_fraction(self, fraction: float, seed: SeedLike = None) -> "Dataset":
-        """Uniform row sample without replacement (Exp. 2 down-sampling)."""
+        """Uniform row sample without replacement (Exp. 2 down-sampling).
+
+        Returns a zero-copy view; the sampled rows keep their original
+        relative order, matching the historical mask-based implementation.
+        """
         if not 0.0 < fraction <= 1.0:
             raise InvalidParameterError(f"fraction must be in (0, 1], got {fraction}")
         if fraction == 1.0:
@@ -198,45 +425,98 @@ class Dataset:
         rng = as_generator(seed)
         k = max(1, int(round(self._n_rows * fraction)))
         idx = rng.choice(self._n_rows, size=k, replace=False)
-        mask = np.zeros(self._n_rows, dtype=bool)
-        mask[idx] = True
-        return self.select(mask, name=f"{self.name}[{fraction:.0%}]")
+        idx.sort()  # preserve row order, as the mask path always did
+        return self._view(
+            self._base_index_for(idx.astype(np.intp, copy=False)),
+            name=f"{self.name}[{fraction:.0%}]",
+        )
 
     def permute_columns(self, seed: SeedLike = None) -> "Dataset":
         """Independently shuffle every column — the "randomized Census".
 
         Marginal distributions are preserved exactly while every
         inter-column dependency is destroyed, so *all* null hypotheses
-        about relationships become true (Exp. 2, Fig. 6 d–e).
+        about relationships become true (Exp. 2, Fig. 6 d–e).  The result
+        is a fresh base dataset (permuting breaks the shared-row-index
+        invariant of views), but only codes/floats are copied — labels are
+        never round-tripped through object arrays.
         """
         rng = as_generator(seed)
-        shuffled = {
-            c.name: c.values[rng.permutation(self._n_rows)]
-            for c in self._columns.values()
-        }
-        return Dataset(
-            shuffled,
-            categorical=[n for n in self._columns if self.is_categorical(n)],
-            name=f"{self.name}[randomized]",
-            category_universe=self._universe(),
+        stores: dict[str, _ColumnStore] = {}
+        for store in self._stores.values():
+            perm = rng.permutation(self._n_rows)
+            col = self.column(store.name)
+            if store.ctype is ColumnType.CATEGORICAL:
+                stores[store.name] = _ColumnStore(
+                    store.name,
+                    ColumnType.CATEGORICAL,
+                    store.categories,
+                    codes=col.codes[perm],
+                )
+            else:
+                stores[store.name] = _ColumnStore(
+                    store.name, ColumnType.NUMERIC, values=col.values[perm]
+                )
+        return Dataset._from_stores(
+            stores, name=f"{self.name}[randomized]", n_rows=self._n_rows
         )
+
+    def materialize(self, name: str | None = None) -> "Dataset":
+        """Detach a view into an independent base dataset (explicit copy)."""
+        if self._row_index is None:
+            return self
+        stores: dict[str, _ColumnStore] = {}
+        for store in self._stores.values():
+            col = self.column(store.name)
+            if store.ctype is ColumnType.CATEGORICAL:
+                stores[store.name] = _ColumnStore(
+                    store.name,
+                    ColumnType.CATEGORICAL,
+                    store.categories,
+                    codes=col.codes.copy(),
+                )
+            else:
+                stores[store.name] = _ColumnStore(
+                    store.name, ColumnType.NUMERIC, values=col.values.copy()
+                )
+        return Dataset._from_stores(stores, name or self.name, self._n_rows)
 
     def numeric_bin_edges(self, name: str, bins: int = 10) -> np.ndarray:
         """Equal-width bin edges over this dataset's range for column *name*.
 
         Sessions compute edges once on the *full* dataset and reuse them for
-        filtered views, keeping binned histograms comparable.
+        filtered views, keeping binned histograms comparable.  Edges (and
+        the underlying min/max) are cached per dataset and returned
+        read-only; copy before mutating.
         """
+        key = (name, bins)
+        cached = self._edges_cache.get(key)
+        if cached is not None:
+            return cached
         col = self.column(name)
         if col.ctype is not ColumnType.NUMERIC:
             raise SchemaError(f"column {name!r} is categorical; no bin edges")
         if bins < 2:
             raise InvalidParameterError(f"bins must be >= 2, got {bins}")
-        lo = float(np.min(col.values))
-        hi = float(np.max(col.values))
+        lo, hi = self._minmax(name, col)
         if lo == hi:
             hi = lo + 1.0
-        return np.linspace(lo, hi, bins + 1)
+        edges = np.linspace(lo, hi, bins + 1)
+        edges.setflags(write=False)
+        self._edges_cache[key] = edges
+        return edges
+
+    def _minmax(self, name: str, col: Column) -> tuple[float, float]:
+        cached = self._minmax_cache.get(name)
+        if cached is None:
+            values = col.values
+            cached = (float(np.min(values)), float(np.max(values)))
+            self._minmax_cache[name] = cached
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Dataset(name={self.name!r}, rows={self._n_rows}, cols={list(self._columns)})"
+        kind = "view" if self.is_view else "base"
+        return (
+            f"Dataset(name={self.name!r}, rows={self._n_rows}, "
+            f"cols={list(self._stores)}, {kind}, gen={self._generation})"
+        )

@@ -1,0 +1,139 @@
+"""Engine-level caches for the columnar exploration substrate.
+
+The interactive hot path (``ExplorationSession.show`` → predicate mask →
+histogram → chi-square) re-evaluates the same structural objects over and
+over: the same filter predicates, the same attribute histograms, the same
+unfiltered reference distributions.  All of those are pure functions of
+*(immutable predicate, dataset contents)*, so the engine memoizes them:
+
+* every :class:`~repro.exploration.dataset.Dataset` carries a bounded LRU
+  **mask cache** (predicate → boolean row mask) and **histogram cache**
+  (structural key → :class:`~repro.exploration.histogram.Histogram`);
+* cache entries never need invalidation: column codes are immutable and
+  the caches live on the dataset object itself, so a new view or permuted
+  copy starts with empty caches and a stale hit is impossible (the
+  **generation token** each dataset gets at construction is a unique
+  per-content identifier for diagnostics, not a cache-key field);
+* cached masks are marked read-only before they are shared, so aliasing
+  bugs surface as ``ValueError: assignment destination is read-only``
+  instead of silent corruption.
+
+Predicates with unhashable payloads (e.g. ``Eq("c", [1, 2])``) simply
+bypass the caches; correctness never depends on a cache hit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+import numpy as np
+
+__all__ = [
+    "LRUCache",
+    "next_generation",
+    "cached_mask",
+    "cached_histogram",
+    "mask_cache_entries",
+    "DEFAULT_MASK_CACHE_SIZE",
+    "DEFAULT_MASK_CACHE_BUDGET_BYTES",
+    "DEFAULT_HISTOGRAM_CACHE_SIZE",
+]
+
+#: Upper bound on memoized masks per dataset (boolean arrays, n_rows each).
+DEFAULT_MASK_CACHE_SIZE = 512
+#: Byte budget for one dataset's cached masks; bounds memory at large row
+#: counts where an entry-count cap alone would not (masks are n_rows bytes).
+DEFAULT_MASK_CACHE_BUDGET_BYTES = 64 * 1024 * 1024
+#: Upper bound on memoized histograms per dataset (small frozen objects).
+DEFAULT_HISTOGRAM_CACHE_SIZE = 1024
+
+
+def mask_cache_entries(n_rows: int) -> int:
+    """Mask-cache capacity for a dataset of *n_rows*: entry cap ∧ byte budget.
+
+    The byte budget always wins: at extreme row counts this degrades to a
+    single-entry cache rather than silently exceeding the budget.
+    """
+    if n_rows <= 0:
+        return DEFAULT_MASK_CACHE_SIZE
+    by_budget = DEFAULT_MASK_CACHE_BUDGET_BYTES // n_rows
+    return max(1, min(DEFAULT_MASK_CACHE_SIZE, by_budget))
+
+_GENERATION = itertools.count(1)
+
+
+def next_generation() -> int:
+    """Fresh dataset generation token (unique per logical row content)."""
+    return next(_GENERATION)
+
+
+class LRUCache:
+    """Tiny bounded LRU map used for per-dataset mask/histogram caches."""
+
+    __slots__ = ("maxsize", "_data")
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key: Hashable):
+        """Value for *key* (promoted to most-recent) or ``None`` on a miss."""
+        data = self._data
+        try:
+            value = data[key]
+        except KeyError:
+            return None
+        data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        while len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+def cached_mask(dataset, predicate) -> np.ndarray:
+    """Memoized ``predicate._compute_mask(dataset)``.
+
+    The cache lives on the dataset, so the (predicate, generation) pair of
+    the issue spec is implicit: a different view or permuted copy is a
+    different dataset object with its own empty cache.  Returned cached
+    masks are read-only; callers needing a scratch buffer must copy.
+    """
+    cache: LRUCache | None = getattr(dataset, "_mask_cache", None)
+    if cache is None:
+        return predicate._compute_mask(dataset)
+    try:
+        mask = cache.get(predicate)
+    except TypeError:  # unhashable predicate payload: bypass, stay correct
+        return predicate._compute_mask(dataset)
+    if mask is None:
+        mask = np.asarray(predicate._compute_mask(dataset), dtype=bool)
+        mask.setflags(write=False)
+        cache.put(predicate, mask)
+    return mask
+
+
+def cached_histogram(dataset, key: Hashable, build: Callable[[], object]):
+    """Memoized histogram lookup on *dataset* under a structural *key*."""
+    cache: LRUCache | None = getattr(dataset, "_hist_cache", None)
+    if cache is None:
+        return build()
+    try:
+        hist = cache.get(key)
+    except TypeError:  # unhashable predicate in the key
+        return build()
+    if hist is None:
+        hist = build()
+        cache.put(key, hist)
+    return hist

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -64,6 +64,7 @@ class HypothesisProposal:
 def propose_hypothesis(
     viz: Visualization,
     canvas: Sequence[Visualization] = (),
+    canvas_index: Mapping[tuple[str, object], Visualization] | None = None,
 ) -> HypothesisProposal | None:
     """Apply rules 1–3 to a newly shown panel.
 
@@ -71,26 +72,35 @@ def propose_hypothesis(
     ``None`` for rule 1 (descriptive panel), a TWO_SAMPLE proposal when a
     complementary sibling exists (most recent sibling wins), otherwise a
     DISTRIBUTION_SHIFT proposal.
+
+    *canvas_index* is an optional session-maintained lookup from
+    ``(attribute, normalized predicate)`` to the most recent canvas panel
+    with that shape.  On normalized predicates the structural complement
+    is an involution, so the rule-3 sibling scan reduces to one dictionary
+    probe for the complement key — O(1) instead of rescanning the whole
+    canvas per gesture.  Falls back to the linear scan when no index is
+    supplied (or the predicate is unhashable); both paths return the same
+    proposal.
     """
     viz = viz.normalized()
     if not viz.is_filtered:
         return None  # Rule 1: no filter, no hypothesis.
-    for other in reversed(list(canvas)):
-        other = other.normalized()
-        if viz.is_negated_sibling(other):
-            return HypothesisProposal(
-                kind=HypothesisKind.TWO_SAMPLE,
-                target=viz,
-                reference=other,
-                null_description=(
-                    f"{viz.attribute} | {viz.predicate.describe()} "
-                    f"= {other.attribute} | {other.predicate.describe()}"
-                ),
-                alternative_description=(
-                    f"{viz.attribute} | {viz.predicate.describe()} "
-                    f"<> {other.attribute} | {other.predicate.describe()}"
-                ),
-            )
+    sibling = _find_sibling(viz, canvas, canvas_index)
+    if sibling is not None:
+        other = sibling
+        return HypothesisProposal(
+            kind=HypothesisKind.TWO_SAMPLE,
+            target=viz,
+            reference=other,
+            null_description=(
+                f"{viz.attribute} | {viz.predicate.describe()} "
+                f"= {other.attribute} | {other.predicate.describe()}"
+            ),
+            alternative_description=(
+                f"{viz.attribute} | {viz.predicate.describe()} "
+                f"<> {other.attribute} | {other.predicate.describe()}"
+            ),
+        )
     return HypothesisProposal(
         kind=HypothesisKind.DISTRIBUTION_SHIFT,
         target=viz,
@@ -98,6 +108,27 @@ def propose_hypothesis(
         null_description=f"{viz.describe()} = {viz.attribute}",
         alternative_description=f"{viz.describe()} <> {viz.attribute}",
     )
+
+
+def _find_sibling(
+    viz: Visualization,
+    canvas: Sequence[Visualization],
+    canvas_index: Mapping[tuple[str, object], Visualization] | None,
+) -> Visualization | None:
+    """Most recent canvas panel that is a negated sibling of *viz*."""
+    if canvas_index is not None:
+        try:
+            complement = viz.predicate.complement()
+            if complement.is_trivial():
+                return None  # an unfiltered panel can never be a sibling
+            return canvas_index.get((viz.attribute, complement))
+        except TypeError:
+            pass  # unhashable predicate payload: use the scan below
+    for other in reversed(list(canvas)):
+        other = other.normalized()
+        if viz.is_negated_sibling(other):
+            return other
+    return None
 
 
 def evaluate_proposal(

@@ -7,6 +7,12 @@ properties matter for correctness of the derived hypothesis tests:
   category/bin universe (aligned chi-square cells), and
 * numeric attributes are binned with edges computed once on the *full*
   dataset, so a filter cannot shift the binning.
+
+Aggregation is pushed down onto the column store: categorical histograms
+are one ``np.bincount`` over the dictionary codes (optionally gathered
+through the predicate's memoized mask), and results are memoized on the
+dataset's histogram cache — a session re-showing a panel, or rule 2
+re-deriving the unfiltered reference distribution, pays nothing.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import numpy as np
 
 from repro.errors import InsufficientDataError, InvalidParameterError
 from repro.exploration.dataset import ColumnType, Dataset
+from repro.exploration.engine import cached_histogram
 from repro.exploration.predicate import Predicate, TRUE
 
 __all__ = ["Histogram", "categorical_histogram", "numeric_histogram", "histogram_for"]
@@ -86,19 +93,20 @@ def categorical_histogram(
         raise InvalidParameterError(
             f"{attribute!r} is numeric; use numeric_histogram with bin edges"
         )
-    mask = predicate.mask(dataset)
-    values = col.values[mask]
-    categories = col.categories
-    index = {c: i for i, c in enumerate(categories)}
-    counts = np.zeros(len(categories), dtype=int)
-    for v, n in zip(*np.unique(values, return_counts=True)):
-        counts[index[v]] = int(n)
-    return Histogram(
-        attribute=attribute,
-        labels=tuple(categories),
-        counts=tuple(int(c) for c in counts),
-        filter_description=predicate.describe(),
-    )
+
+    def build() -> Histogram:
+        codes = col.codes
+        if not predicate.is_trivial():
+            codes = codes[predicate.mask(dataset)]
+        counts = np.bincount(codes, minlength=len(col.categories))
+        return Histogram(
+            attribute=attribute,
+            labels=tuple(col.categories),
+            counts=tuple(int(c) for c in counts),
+            filter_description=predicate.describe(),
+        )
+
+    return cached_histogram(dataset, ("cat", attribute, predicate), build)
 
 
 def numeric_histogram(
@@ -118,17 +126,24 @@ def numeric_histogram(
     edges = np.asarray(bin_edges, dtype=float)
     if edges.ndim != 1 or edges.size < 3:
         raise InvalidParameterError("need at least 2 bins (3 edges)")
-    mask = predicate.mask(dataset)
-    values = col.values[mask]
-    counts, _ = np.histogram(values, bins=edges)
-    labels = tuple(
-        f"[{edges[i]:g}, {edges[i + 1]:g})" for i in range(edges.size - 1)
-    )
-    return Histogram(
-        attribute=attribute,
-        labels=labels,
-        counts=tuple(int(c) for c in counts),
-        filter_description=predicate.describe(),
+
+    def build() -> Histogram:
+        values = col.values
+        if not predicate.is_trivial():
+            values = values[predicate.mask(dataset)]
+        counts, _ = np.histogram(values, bins=edges)
+        labels = tuple(
+            f"[{edges[i]:g}, {edges[i + 1]:g})" for i in range(edges.size - 1)
+        )
+        return Histogram(
+            attribute=attribute,
+            labels=labels,
+            counts=tuple(int(c) for c in counts),
+            filter_description=predicate.describe(),
+        )
+
+    return cached_histogram(
+        dataset, ("num", attribute, predicate, edges.tobytes()), build
     )
 
 

@@ -6,6 +6,15 @@ Predicates are immutable, hashable, render to readable strings (for the
 gauge's hypothesis labels) and support *structural negation* — the
 dashed-line "inverted selection" of Fig. 1 — with complement detection,
 which is what triggers the rule-3 default hypothesis.
+
+Evaluation is engine-backed: ``mask()`` consults the dataset's memoized
+mask cache (see :mod:`repro.exploration.engine`) and subclasses implement
+``_compute_mask`` for the miss path.  On dictionary-encoded categorical
+columns, ``Eq`` and ``In`` compare ``int32`` codes instead of label
+arrays, and ``And``/``Or`` combine their children's cached masks with a
+single reduction instead of per-operand reallocation.  Because predicates
+and normalization results are immutable, ``normalize()`` and the
+structural complement are memoized per instance.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ import numpy as np
 
 from repro.errors import PredicateError
 from repro.exploration.dataset import ColumnType, Dataset
+from repro.exploration.engine import cached_mask
 
 __all__ = ["Predicate", "TRUE", "Eq", "In", "Range", "Not", "And", "Or", "true_predicate"]
 
@@ -25,9 +35,17 @@ __all__ = ["Predicate", "TRUE", "Eq", "In", "Range", "Not", "And", "Or", "true_p
 class Predicate(abc.ABC):
     """Immutable boolean filter over dataset rows."""
 
-    @abc.abstractmethod
     def mask(self, dataset: Dataset) -> np.ndarray:
-        """Boolean row mask of the rows satisfying this predicate."""
+        """Boolean row mask of the rows satisfying this predicate.
+
+        Results are memoized per dataset; cached masks are read-only, so
+        copy before mutating in place.
+        """
+        return cached_mask(dataset, self)
+
+    @abc.abstractmethod
+    def _compute_mask(self, dataset: Dataset) -> np.ndarray:
+        """Uncached mask evaluation (the engine's miss path)."""
 
     @abc.abstractmethod
     def describe(self) -> str:
@@ -45,6 +63,14 @@ class Predicate(abc.ABC):
         """True only for the match-everything predicate."""
         return False
 
+    def complement(self) -> "Predicate":
+        """Normalized structural negation of this predicate (memoized)."""
+        comp = getattr(self, "_cached_complement", None)
+        if comp is None:
+            comp = Not(self).normalize()
+            object.__setattr__(self, "_cached_complement", comp)
+        return comp
+
     def is_complement_of(self, other: "Predicate") -> bool:
         """Structural complement check: does ``self == NOT other``?
 
@@ -56,7 +82,7 @@ class Predicate(abc.ABC):
         """
         a = self.normalize()
         b = other.normalize()
-        return Not(b).normalize() == a or Not(a).normalize() == b
+        return b.complement() == a or a.complement() == b
 
     # Operator sugar so call sites read like boolean logic.
     def __and__(self, other: "Predicate") -> "Predicate":
@@ -69,11 +95,22 @@ class Predicate(abc.ABC):
         return Not(self).normalize()
 
 
+def _memoized_normalize(pred: "Predicate") -> "Predicate":
+    """Fetch/compute ``pred.normalize()`` caching the result on the instance."""
+    norm = getattr(pred, "_cached_norm", None)
+    if norm is None:
+        norm = pred._normalize()
+        object.__setattr__(pred, "_cached_norm", norm)
+        # A normalization result is itself in canonical form already.
+        object.__setattr__(norm, "_cached_norm", norm)
+    return norm
+
+
 @dataclass(frozen=True)
 class _True(Predicate):
     """Matches every row: the 'no filter' of rule 1."""
 
-    def mask(self, dataset: Dataset) -> np.ndarray:
+    def _compute_mask(self, dataset: Dataset) -> np.ndarray:
         return np.ones(dataset.n_rows, dtype=bool)
 
     def describe(self) -> str:
@@ -101,12 +138,15 @@ class Eq(Predicate):
     column: str
     value: object
 
-    def mask(self, dataset: Dataset) -> np.ndarray:
+    def _compute_mask(self, dataset: Dataset) -> np.ndarray:
         col = dataset.column(self.column)
-        if col.ctype is ColumnType.CATEGORICAL and self.value not in col.categories:
-            raise PredicateError(
-                f"{self.value!r} is not a category of column {self.column!r}"
-            )
+        if col.ctype is ColumnType.CATEGORICAL:
+            code = col.code_of(self.value)
+            if code is None:
+                raise PredicateError(
+                    f"{self.value!r} is not a category of column {self.column!r}"
+                )
+            return col.codes == code
         return np.asarray(col.values == self.value)
 
     def describe(self) -> str:
@@ -127,15 +167,25 @@ class In(Predicate):
         object.__setattr__(self, "column", column)
         object.__setattr__(self, "values", tuple(sorted(set(values), key=str)))
 
-    def mask(self, dataset: Dataset) -> np.ndarray:
+    def _compute_mask(self, dataset: Dataset) -> np.ndarray:
         col = dataset.column(self.column)
         if col.ctype is ColumnType.CATEGORICAL:
-            unknown = set(self.values) - set(col.categories)
+            codes, unknown = [], []
+            for value in self.values:
+                code = col.code_of(value)
+                if code is None:
+                    unknown.append(value)
+                else:
+                    codes.append(code)
             if unknown:
                 raise PredicateError(
                     f"values {sorted(map(str, unknown))} are not categories of "
                     f"column {self.column!r}"
                 )
+            # Membership via a code lookup table: one O(n) gather, no sort.
+            lut = np.zeros(len(col.categories), dtype=bool)
+            lut[codes] = True
+            return lut[col.codes]
         return np.isin(col.values, np.asarray(self.values, dtype=col.values.dtype))
 
     def describe(self) -> str:
@@ -158,7 +208,7 @@ class Range(Predicate):
         if not self.lo < self.hi:
             raise PredicateError(f"empty range [{self.lo}, {self.hi})")
 
-    def mask(self, dataset: Dataset) -> np.ndarray:
+    def _compute_mask(self, dataset: Dataset) -> np.ndarray:
         col = dataset.column(self.column)
         if col.ctype is not ColumnType.NUMERIC:
             raise PredicateError(f"Range needs a numeric column, {self.column!r} is not")
@@ -177,8 +227,8 @@ class Not(Predicate):
 
     operand: Predicate
 
-    def mask(self, dataset: Dataset) -> np.ndarray:
-        return ~self.operand.mask(dataset)
+    def _compute_mask(self, dataset: Dataset) -> np.ndarray:
+        return np.logical_not(self.operand.mask(dataset))
 
     def describe(self) -> str:
         return f"not ({self.operand.describe()})"
@@ -187,6 +237,9 @@ class Not(Predicate):
         return self.operand.columns()
 
     def normalize(self) -> Predicate:
+        return _memoized_normalize(self)
+
+    def _normalize(self) -> Predicate:
         inner = self.operand.normalize()
         if isinstance(inner, Not):
             return inner.operand.normalize()
@@ -214,11 +267,13 @@ class And(Predicate):
     def __init__(self, operands) -> None:
         object.__setattr__(self, "operands", tuple(operands))
 
-    def mask(self, dataset: Dataset) -> np.ndarray:
-        result = np.ones(dataset.n_rows, dtype=bool)
-        for op in self.operands:
-            result &= op.mask(dataset)
-        return result
+    def _compute_mask(self, dataset: Dataset) -> np.ndarray:
+        if not self.operands:
+            return np.ones(dataset.n_rows, dtype=bool)
+        masks = [op.mask(dataset) for op in self.operands]
+        if len(masks) == 1:
+            return masks[0].copy()
+        return np.logical_and.reduce(masks)
 
     def describe(self) -> str:
         if not self.operands:
@@ -229,6 +284,9 @@ class And(Predicate):
         return frozenset().union(*(op.columns() for op in self.operands)) if self.operands else frozenset()
 
     def normalize(self) -> Predicate:
+        return _memoized_normalize(self)
+
+    def _normalize(self) -> Predicate:
         flat = _flatten(And, self.operands)
         if not flat:
             return TRUE
@@ -246,11 +304,13 @@ class Or(Predicate):
     def __init__(self, operands) -> None:
         object.__setattr__(self, "operands", tuple(operands))
 
-    def mask(self, dataset: Dataset) -> np.ndarray:
-        result = np.zeros(dataset.n_rows, dtype=bool)
-        for op in self.operands:
-            result |= op.mask(dataset)
-        return result
+    def _compute_mask(self, dataset: Dataset) -> np.ndarray:
+        if not self.operands:
+            return np.zeros(dataset.n_rows, dtype=bool)
+        masks = [op.mask(dataset) for op in self.operands]
+        if len(masks) == 1:
+            return masks[0].copy()
+        return np.logical_or.reduce(masks)
 
     def describe(self) -> str:
         if not self.operands:
@@ -261,6 +321,9 @@ class Or(Predicate):
         return frozenset().union(*(op.columns() for op in self.operands)) if self.operands else frozenset()
 
     def normalize(self) -> Predicate:
+        return _memoized_normalize(self)
+
+    def _normalize(self) -> Predicate:
         flat = []
         for op in self.operands:
             norm = op.normalize()

@@ -130,6 +130,10 @@ class ExplorationSession:
         if not isinstance(self._procedure, StreamingProcedure):
             raise InvalidParameterError("procedure factory must build a StreamingProcedure")
         self._canvas: list[Visualization] = []
+        # (attribute, normalized predicate) -> most recent panel; lets the
+        # rule-3 sibling check be one dict probe instead of a canvas scan.
+        # Set to None (disabling the fast path) on unhashable predicates.
+        self._canvas_index: dict[tuple[str, object], Visualization] | None = {}
         self._hypotheses: dict[int, TrackedHypothesis] = {}
         self._stream: list[int] = []  # hypothesis ids in test order (active only)
         self._viz_context: dict[int, tuple[Visualization, Visualization | None]] = {}
@@ -156,10 +160,12 @@ class ExplorationSession:
         hist = viz.histogram(self.dataset, bin_edges=edges)
         hypothesis: TrackedHypothesis | None = None
         if not descriptive:
-            proposal = propose_hypothesis(viz, self._canvas)
+            proposal = propose_hypothesis(
+                viz, self._canvas, canvas_index=self._canvas_index
+            )
             if proposal is not None:
                 hypothesis = self._track_proposal(proposal, edges)
-        self._canvas.append(viz.normalized())
+        self._append_canvas(viz)
         return ViewResult(visualization=viz, histogram=hist, hypothesis=hypothesis)
 
     def promote(
@@ -184,7 +190,7 @@ class ExplorationSession:
 
         uniform = np.ones(len(hist.counts)) / len(hist.counts)
         result = chi_square_gof(hist.counts, uniform)
-        self._canvas.append(viz.normalized())
+        self._append_canvas(viz)
         return self._record(
             result,
             kind="user-promoted",
@@ -392,6 +398,16 @@ class ExplorationSession:
         )
 
     # -- internals --------------------------------------------------------------
+
+    def _append_canvas(self, viz: Visualization) -> None:
+        norm = viz.normalized()
+        self._canvas.append(norm)
+        if self._canvas_index is not None:
+            try:
+                self._canvas_index[(norm.attribute, norm.predicate)] = norm
+            except TypeError:
+                # Unhashable predicate payload: fall back to linear scans.
+                self._canvas_index = None
 
     def _as_visualization(
         self,

@@ -41,8 +41,21 @@ class Visualization:
     bins: int = 10
 
     def normalized(self) -> "Visualization":
-        """Same visualization with the predicate in canonical form."""
-        return Visualization(self.attribute, self.predicate.normalize(), self.bins)
+        """Same visualization with the predicate in canonical form.
+
+        Memoized per instance: canvas panels are normalized once, not on
+        every heuristic pass (predicates and specs are immutable).
+        """
+        cached = getattr(self, "_cached_norm", None)
+        if cached is None:
+            pred = self.predicate.normalize()
+            if pred is self.predicate:
+                cached = self
+            else:
+                cached = Visualization(self.attribute, pred, self.bins)
+            object.__setattr__(cached, "_cached_norm", cached)
+            object.__setattr__(self, "_cached_norm", cached)
+        return cached
 
     @property
     def is_filtered(self) -> bool:

@@ -156,9 +156,12 @@ def _filter_candidates(dataset: Dataset, min_prevalence: float) -> list[Predicat
     n = dataset.n_rows
     for name in dataset.column_names:
         if dataset.is_categorical(name):
-            values = dataset.values(name)
-            for category in dataset.categories(name):
-                prevalence = float((values == category).sum()) / n
+            col = dataset.column(name)
+            # One bincount over the dictionary codes gives every category's
+            # prevalence at once (vs. one label-array scan per category).
+            counts = np.bincount(col.codes, minlength=len(col.categories))
+            for category, count in zip(col.categories, counts):
+                prevalence = float(count) / n
                 if prevalence >= min_prevalence:
                     candidates.append(Eq(name, category))
         else:

@@ -262,6 +262,53 @@ class TestPermutationTest:
         with pytest.raises(InvalidParameterError):
             permutation_test_mean([1.0], [2.0], n_resamples=0)
 
+    def test_null_p_values_are_uniform(self, rng):
+        """Distributional regression for the vectorized resampler.
+
+        Under a true null, permutation p-values are (discretely) uniform on
+        (0, 1]; the batched ``rng.permuted`` implementation must preserve
+        that.  Checks mean and the empirical CDF at 0.25/0.5/0.75 over 200
+        independent null datasets.
+        """
+        p_values = np.array(
+            [
+                permutation_test_mean(
+                    rng.normal(0, 1, 12), rng.normal(0, 1, 12),
+                    n_resamples=99, seed=int(1000 + i),
+                ).p_value
+                for i in range(200)
+            ]
+        )
+        assert abs(p_values.mean() - 0.5) < 0.08
+        for q in (0.25, 0.5, 0.75):
+            assert abs((p_values <= q).mean() - q) < 0.12
+
+    def test_agrees_with_t_test_on_moderate_samples(self, rng):
+        """Permutation and Welch p-values track each other closely."""
+        from repro.stats.tests import t_test_two_sample
+
+        x = rng.normal(0.0, 1.0, 40)
+        y = rng.normal(0.6, 1.0, 40)
+        perm = permutation_test_mean(x, y, n_resamples=4000, seed=5)
+        welch = t_test_two_sample(x, y)
+        assert abs(perm.p_value - welch.p_value) < 0.05
+
+    def test_chunked_resampling_matches_single_chunk(self, rng):
+        """Chunk boundaries must not change the consumed random stream."""
+        import repro.stats.tests as tests_module
+
+        x = rng.normal(0, 1, 10)
+        y = rng.normal(0.5, 1, 10)
+        full = permutation_test_mean(x, y, n_resamples=300, seed=17)
+        original = tests_module._PERMUTATION_CHUNK_BUDGET
+        try:
+            # Force many tiny chunks: 40 floats -> chunk of 2 rows.
+            tests_module._PERMUTATION_CHUNK_BUDGET = 40
+            chunked = permutation_test_mean(x, y, n_resamples=300, seed=17)
+        finally:
+            tests_module._PERMUTATION_CHUNK_BUDGET = original
+        assert chunked.p_value == full.p_value
+
 
 class TestTestResult:
     def test_reject_at(self):
