@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Perf-regression gate: compare a fresh benchmark record to the baseline.
+
+CI regenerates ``BENCH_interactive.json`` on every run; this script
+compares the fresh record against the committed baseline and fails (exit
+code 1) when any benchmark's **mean** regressed by more than the
+threshold factor (default 2.5x — deliberately tolerant of shared-runner
+noise; the interactive numbers have ~10x headroom against the paper's
+100 ms budget, so a genuine architectural regression still trips it).
+
+A markdown table of old/new/delta is printed to stdout and, when the
+``GITHUB_STEP_SUMMARY`` environment variable points at a file (as it
+does inside a GitHub Actions job), appended there so the comparison
+shows up in the job summary.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_interactive.json --candidate fresh.json [--threshold 2.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from pathlib import Path
+
+#: Default tolerated slowdown factor (candidate mean / baseline mean).
+DEFAULT_THRESHOLD = 2.5
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """``{benchmark name: mean seconds}`` from a BENCH_interactive record."""
+    payload = json.loads(path.read_text())
+    means: dict[str, float] = {}
+    for name, stats in payload.get("benchmarks", {}).items():
+        mean = stats.get("mean_s")
+        if isinstance(mean, (int, float)) and mean > 0:
+            means[name] = float(mean)
+    return means
+
+
+def compare(
+    baseline: dict[str, float],
+    candidate: dict[str, float],
+    threshold: float,
+) -> tuple[list[dict], list[str]]:
+    """Per-benchmark comparison rows plus failure messages.
+
+    A benchmark present in the baseline but missing from the candidate is
+    a failure (the gate must not pass because a benchmark silently
+    disappeared); a brand-new candidate benchmark is reported but cannot
+    regress against nothing.
+    """
+    rows: list[dict] = []
+    failures: list[str] = []
+    for name in sorted(set(baseline) | set(candidate)):
+        old = baseline.get(name)
+        new = candidate.get(name)
+        if old is None:
+            rows.append({"name": name, "old": None, "new": new, "ratio": None,
+                         "status": "new"})
+            continue
+        if new is None:
+            rows.append({"name": name, "old": old, "new": None, "ratio": None,
+                         "status": "missing"})
+            failures.append(f"{name}: present in baseline but missing from candidate")
+            continue
+        ratio = new / old
+        status = "fail" if ratio > threshold else "ok"
+        rows.append({"name": name, "old": old, "new": new, "ratio": ratio,
+                     "status": status})
+        if status == "fail":
+            failures.append(
+                f"{name}: mean regressed {ratio:.2f}x "
+                f"({old * 1e3:.3f} ms -> {new * 1e3:.3f} ms, threshold {threshold}x)"
+            )
+    return rows, failures
+
+
+def markdown_table(rows: list[dict], threshold: float) -> str:
+    lines = [
+        f"### Interactive-latency perf gate (threshold {threshold}x)",
+        "",
+        "| benchmark | baseline mean | candidate mean | delta | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    icons = {"ok": "✅", "fail": "❌", "missing": "❌ missing", "new": "🆕"}
+    for row in rows:
+        old = f"{row['old'] * 1e3:.3f} ms" if row["old"] is not None else "—"
+        new = f"{row['new'] * 1e3:.3f} ms" if row["new"] is not None else "—"
+        ratio = f"{row['ratio']:.2f}x" if row["ratio"] is not None else "—"
+        lines.append(
+            f"| `{row['name']}` | {old} | {new} | {ratio} | {icons[row['status']]} |"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_interactive.json")
+    parser.add_argument("--candidate", type=Path, required=True,
+                        help="freshly generated benchmark record")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help=f"max tolerated slowdown factor (default {DEFAULT_THRESHOLD})")
+    args = parser.parse_args(argv)
+    if args.threshold <= 1.0:
+        parser.error("--threshold must be > 1.0")
+
+    baseline = load_means(args.baseline)
+    candidate = load_means(args.candidate)
+    if not baseline:
+        parser.error(f"no usable benchmarks in baseline {args.baseline}")
+    rows, failures = compare(baseline, candidate, args.threshold)
+    table = markdown_table(rows, args.threshold)
+    print(table)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(table + "\n\n")
+
+    if failures:
+        print()
+        for message in failures:
+            print(f"REGRESSION: {message}")
+        return 1
+    print(f"\nperf gate passed: {sum(r['status'] == 'ok' for r in rows)} benchmark(s) "
+          f"within {args.threshold}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import subprocess
 import sys
 import tempfile
@@ -26,20 +25,14 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = Path(__file__).resolve().parent / "bench_interactive_latency.py"
+_SRC = str(REPO_ROOT / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
-
-def git_sha() -> str:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            cwd=REPO_ROOT,
-            capture_output=True,
-            text=True,
-            check=True,
-        )
-        return out.stdout.strip()
-    except (OSError, subprocess.CalledProcessError):
-        return "unknown"
+# Single source of truth for record attribution (git sha with GITHUB_SHA
+# fallback on detached/shallow CI checkouts, python, machine) — shared
+# with the scale sweep so the two ledgers can never drift apart.
+from repro.service.sweep import run_metadata  # noqa: E402
 
 
 def run_suite(raw_json: Path) -> None:
@@ -73,13 +66,9 @@ def summarize(raw_json: Path) -> dict:
             "median_s": stats.get("median"),
             "rounds": stats.get("rounds"),
         }
-    return {
-        "suite": "interactive-latency",
-        "git_sha": git_sha(),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "benchmarks": benchmarks,
-    }
+    summary = {"suite": "interactive-latency", "benchmarks": benchmarks}
+    summary.update(run_metadata())
+    return summary
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -61,6 +61,25 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sub.add_parser("motivating", help="Sec. 1 / 2.4 arithmetic + simulation"), 2000)
     add_common(sub.add_parser("holdout", help="Sec. 4.1 hold-out analysis"), 2000)
     add_common(sub.add_parser("all", help="run every artifact in sequence"), 200)
+
+    sweep = sub.add_parser(
+        "serve-sweep",
+        help="multi-session service scale sweep over a (rows x sessions) grid",
+    )
+    sweep.add_argument("--rows", type=int, nargs="+", default=[100_000],
+                       help="row-count axis (default: 100000)")
+    sweep.add_argument("--sessions", type=int, nargs="+", default=[16],
+                       help="concurrent-session axis (default: 16)")
+    sweep.add_argument("--steps", type=int, default=40,
+                       help="panels per session per cell (default 40)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="census + workload seed (default 0)")
+    sweep.add_argument("--serial", action="store_true",
+                       help="dispatch sessions serially instead of on a pool")
+    sweep.add_argument("--label", default=None,
+                       help="free-form label stored in the ledger record")
+    sweep.add_argument("--output", default=None,
+                       help="append the record to this BENCH_scale.json ledger")
     return parser
 
 
@@ -168,6 +187,29 @@ def _run_holdout(args) -> str:
     )
 
 
+def _run_serve_sweep(args) -> str:
+    from repro.service.sweep import ScaleSweep, append_record, format_cells, sweep_extra
+
+    sweep = ScaleSweep(
+        rows_grid=tuple(args.rows),
+        sessions_grid=tuple(args.sessions),
+        steps=args.steps,
+        seed=args.seed,
+        parallel=not args.serial,
+    )
+    cells = sweep.run()
+    lines = [
+        "service scale sweep (mean per-show latency / aggregate throughput):",
+        format_cells(cells),
+    ]
+    if args.output:
+        record = append_record(
+            args.output, cells, extra=sweep_extra(sweep, args.label)
+        )
+        lines.append(f"appended record ({record['git_sha'][:12]}) to {args.output}")
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "exp1a": _run_exp1a,
     "exp1b": _run_exp1b,
@@ -175,6 +217,7 @@ _COMMANDS = {
     "exp2": _run_exp2,
     "motivating": _run_motivating,
     "holdout": _run_holdout,
+    "serve-sweep": _run_serve_sweep,
 }
 
 

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import InvalidParameterError
 from repro.rng import SeedLike, as_generator
 from repro.stats.power import holdout_combined_power

@@ -25,6 +25,7 @@ bypass the caches; correctness never depends on a cache hit.
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import OrderedDict
 from typing import Callable, Hashable
 
@@ -32,6 +33,8 @@ import numpy as np
 
 __all__ = [
     "LRUCache",
+    "ThreadSafeLRUCache",
+    "ensure_thread_safe_caches",
     "next_generation",
     "cached_mask",
     "cached_histogram",
@@ -70,13 +73,19 @@ def next_generation() -> int:
 
 
 class LRUCache:
-    """Tiny bounded LRU map used for per-dataset mask/histogram caches."""
+    """Tiny bounded LRU map used for per-dataset mask/histogram caches.
 
-    __slots__ = ("maxsize", "_data")
+    ``hits``/``misses`` count ``get`` outcomes; the service layer reports
+    them as the cross-session sharing rate on registered datasets.
+    """
+
+    __slots__ = ("maxsize", "_data", "hits", "misses")
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = int(maxsize)
         self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
 
     def get(self, key: Hashable):
         """Value for *key* (promoted to most-recent) or ``None`` on a miss."""
@@ -84,8 +93,10 @@ class LRUCache:
         try:
             value = data[key]
         except KeyError:
+            self.misses += 1
             return None
         data.move_to_end(key)
+        self.hits += 1
         return value
 
     def put(self, key: Hashable, value) -> None:
@@ -100,6 +111,59 @@ class LRUCache:
 
     def clear(self) -> None:
         self._data.clear()
+
+
+class ThreadSafeLRUCache(LRUCache):
+    """An :class:`LRUCache` safe for concurrent readers and writers.
+
+    The single-session engine deliberately uses the lock-free variant (an
+    ``OrderedDict`` probe is the hot path of every ``show``); the service
+    layer swaps in this subclass when it registers a dataset that many
+    sessions will share, because concurrent ``get``/``put`` on an
+    ``OrderedDict`` can corrupt its internal ordering (``move_to_end`` of
+    an evicted key, interleaved evictions).  One mutex per cache is enough:
+    entries are immutable (read-only masks, frozen histograms), so the
+    critical section is just the bookkeeping.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, maxsize: int) -> None:
+        super().__init__(maxsize)
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable):
+        with self._lock:
+            return super().get(key)
+
+    def put(self, key: Hashable, value) -> None:
+        with self._lock:
+            super().put(key, value)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return super().__len__()
+
+    def clear(self) -> None:
+        with self._lock:
+            super().clear()
+
+
+def ensure_thread_safe_caches(dataset) -> None:
+    """Swap *dataset*'s mask/histogram caches for thread-safe equivalents.
+
+    Existing entries and capacities are preserved, so warmed caches stay
+    warm.  Idempotent; safe to call on datasets that never see a second
+    thread (the lock adds ~100 ns per probe).
+    """
+    for attr in ("_mask_cache", "_hist_cache"):
+        cache = getattr(dataset, attr, None)
+        if cache is None or isinstance(cache, ThreadSafeLRUCache):
+            continue
+        safe = ThreadSafeLRUCache(cache.maxsize)
+        safe._data.update(cache._data)
+        safe.hits, safe.misses = cache.hits, cache.misses
+        setattr(dataset, attr, safe)
 
 
 def cached_mask(dataset, predicate) -> np.ndarray:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.exploration.hypotheses import HypothesisStatus, TrackedHypothesis
+from repro.exploration.hypotheses import TrackedHypothesis
 
 __all__ = ["GaugeEntry", "RiskGauge"]
 

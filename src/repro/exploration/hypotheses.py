@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.procedures.base import Decision
 from repro.stats.effect_size import EffectMagnitude, classify_cohen_d, classify_cohen_w

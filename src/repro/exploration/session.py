@@ -271,7 +271,7 @@ class ExplorationSession:
         Only valid for two-panel hypotheses over a numeric attribute.
         Replays the stream; later decisions may change (Sec. 3).
         """
-        hyp = self._get(hypothesis_id)
+        self._get(hypothesis_id)  # existence check; raises on unknown id
         target, reference = self._viz_context[hypothesis_id]
         if reference is None:
             raise SessionError("override_with_means needs a two-panel hypothesis")

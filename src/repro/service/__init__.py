@@ -1,0 +1,30 @@
+"""Service layer: concurrent exploration sessions over shared datasets.
+
+The first subsystem on the path from "reproduction" to "service":
+:class:`SessionManager` multiplexes isolated α-investing sessions over
+shared immutable datasets (see :mod:`repro.service.manager` for the
+sharing/isolation contract) and :class:`ScaleSweep` measures the service
+across a (rows × sessions) grid (see :mod:`repro.service.sweep`).
+"""
+
+from repro.service.manager import (
+    DecisionRecord,
+    ServiceStats,
+    SessionManager,
+    SessionStats,
+    ShowRequest,
+    ShowResponse,
+)
+from repro.service.sweep import ScaleSweep, SweepCell, append_record
+
+__all__ = [
+    "DecisionRecord",
+    "ServiceStats",
+    "SessionManager",
+    "SessionStats",
+    "ShowRequest",
+    "ShowResponse",
+    "ScaleSweep",
+    "SweepCell",
+    "append_record",
+]

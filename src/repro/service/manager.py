@@ -1,0 +1,473 @@
+"""Multi-session exploration service: many analysts, one engine.
+
+The reproduction so far drives one :class:`ExplorationSession` at a time.
+This module is the first service-shaped layer on top of the columnar
+engine: a :class:`SessionManager` owns a registry of concurrent sessions
+over shared, immutable :class:`~repro.exploration.dataset.Dataset`
+objects and dispatches batched ``show()`` traffic across them, serially
+or on a thread pool.
+
+Sharing/isolation contract
+--------------------------
+What is **shared** between sessions registered on the same dataset
+object:
+
+* the dataset's physical column stores (immutable after construction —
+  the engine freezes code/value arrays, so concurrent readers are safe);
+* the dataset's memoized predicate-mask and histogram LRUs.  Predicate
+  masks are pure functions of *(predicate, dataset contents)*, so a mask
+  computed by one session is a valid hit for every other session on the
+  same dataset object.  Registration swaps the dataset's caches for
+  :class:`~repro.exploration.engine.ThreadSafeLRUCache` instances (same
+  capacity, warmed entries preserved) because the lock-free single-session
+  LRU is not safe under concurrent mutation.
+
+What is strictly **per-session** (never shared, never observable from
+another session):
+
+* the streaming procedure instance, and with it the α-wealth ledger —
+  one session's discoveries can never spend another session's budget;
+* the hypothesis stream, canvas, and decision log;
+* the session lock: requests for one session always execute in
+  submission order, one at a time, so the paper's never-overturn
+  contract (decisions only change on that session's *own* explicit
+  revisions) holds under thread-pool dispatch exactly as it does
+  serially.  The decision-log equivalence property test
+  (``tests/property/test_property_service.py``) pins this: N threads
+  driving N sessions produce byte-identical logs to a serial run.
+
+Because sessions only share immutable data and thread-safe caches,
+parallel dispatch changes *latency*, never *decisions*.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import InvalidParameterError, SessionError
+from repro.exploration.dataset import Dataset
+from repro.exploration.engine import ensure_thread_safe_caches
+from repro.exploration.predicate import Predicate
+from repro.exploration.session import ExplorationSession, ViewResult
+from repro.procedures.base import StreamingProcedure
+
+__all__ = [
+    "DecisionRecord",
+    "ShowRequest",
+    "ShowResponse",
+    "SessionStats",
+    "ServiceStats",
+    "SessionManager",
+]
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One immutable entry of a session's decision log.
+
+    The log records decisions *in dispatch order, as they were made* —
+    it is the audit trail the equivalence tests compare byte-for-byte
+    between serial and threaded execution.
+    """
+
+    seq: int
+    hypothesis_id: int
+    kind: str
+    p_value: float
+    level: float
+    rejected: bool
+    wealth_after: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; float ``repr`` keeps full precision."""
+        return {
+            "seq": self.seq,
+            "hypothesis_id": self.hypothesis_id,
+            "kind": self.kind,
+            "p_value": repr(self.p_value),
+            "level": repr(self.level),
+            "rejected": self.rejected,
+            "wealth_after": repr(self.wealth_after),
+        }
+
+
+@dataclass(frozen=True)
+class ShowRequest:
+    """One batched ``show()`` call addressed to a session."""
+
+    session_id: str
+    attribute: str
+    where: Predicate | None = None
+    bins: int | None = None
+    descriptive: bool = False
+
+
+@dataclass(frozen=True)
+class ShowResponse:
+    """Outcome of one dispatched request, in the batch's original order."""
+
+    request: ShowRequest
+    index: int
+    result: ViewResult | None
+    error: str | None
+    latency_s: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Read-only per-session counters."""
+
+    session_id: str
+    dataset_name: str
+    shows: int
+    decisions: int
+    wealth: float
+    total_latency_s: float
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate service counters plus shared-cache effectiveness.
+
+    Masks and histograms memoize at different levels (a histogram hit
+    short-circuits the mask probe entirely), so sharing across sessions
+    shows up in *either* counter; ``shared_cache_hit_rate`` combines
+    them.
+    """
+
+    sessions: int
+    datasets: int
+    shows: int
+    decisions: int
+    mask_cache_hits: int
+    mask_cache_misses: int
+    hist_cache_hits: int
+    hist_cache_misses: int
+
+    @property
+    def mask_cache_hit_rate(self) -> float:
+        total = self.mask_cache_hits + self.mask_cache_misses
+        return self.mask_cache_hits / total if total else 0.0
+
+    @property
+    def shared_cache_hit_rate(self) -> float:
+        hits = self.mask_cache_hits + self.hist_cache_hits
+        total = hits + self.mask_cache_misses + self.hist_cache_misses
+        return hits / total if total else 0.0
+
+
+class _ManagedSession:
+    """A session plus the service-side state the manager keeps for it."""
+
+    __slots__ = ("session_id", "dataset_name", "session", "lock", "log",
+                 "shows", "total_latency_s")
+
+    def __init__(self, session_id: str, dataset_name: str,
+                 session: ExplorationSession) -> None:
+        self.session_id = session_id
+        self.dataset_name = dataset_name
+        self.session = session
+        # RLock: a caller holding the session via dispatch may re-enter
+        # through the public show() path.
+        self.lock = threading.RLock()
+        self.log: list[DecisionRecord] = []
+        self.shows = 0
+        self.total_latency_s = 0.0
+
+
+@dataclass
+class _RegisteredDataset:
+    dataset: Dataset
+    name: str
+    sessions: list[str] = field(default_factory=list)
+
+
+class SessionManager:
+    """Registry + dispatcher for concurrent exploration sessions.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread-pool width for parallel dispatch.  ``None`` lets
+        :class:`~concurrent.futures.ThreadPoolExecutor` pick; ``0`` or
+        ``1`` forces serial dispatch even when ``parallel=True``.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 0:
+            raise InvalidParameterError("max_workers must be >= 0 or None")
+        self._max_workers = max_workers
+        self._datasets: dict[str, _RegisteredDataset] = {}
+        self._sessions: dict[str, _ManagedSession] = {}
+        self._registry_lock = threading.Lock()
+        self._next_session = 1
+
+    # -- dataset registry ----------------------------------------------------
+
+    def register_dataset(self, dataset: Dataset, name: str | None = None) -> str:
+        """Register *dataset* for sharing; returns its registry name.
+
+        Registration upgrades the dataset's mask/histogram caches to
+        thread-safe variants (preserving warmed entries) so sessions on
+        different threads can share them.  Registering the same dataset
+        object twice under one name is idempotent; a different object
+        under an existing name is an error.
+        """
+        key = name or dataset.name
+        with self._registry_lock:
+            existing = self._datasets.get(key)
+            if existing is not None:
+                if existing.dataset is dataset:
+                    return key
+                raise InvalidParameterError(
+                    f"a different dataset is already registered as {key!r}"
+                )
+            ensure_thread_safe_caches(dataset)
+            self._datasets[key] = _RegisteredDataset(dataset=dataset, name=key)
+        return key
+
+    def dataset(self, name: str) -> Dataset:
+        """The registered dataset object for *name*."""
+        try:
+            return self._datasets[name].dataset
+        except KeyError:
+            raise SessionError(f"no dataset registered as {name!r}") from None
+
+    def dataset_names(self) -> tuple[str, ...]:
+        return tuple(self._datasets)
+
+    # -- session lifecycle ---------------------------------------------------
+
+    def create_session(
+        self,
+        dataset: str | Dataset,
+        procedure: str | Callable[[], StreamingProcedure] = "epsilon-hybrid",
+        alpha: float = 0.05,
+        bins: int = 10,
+        session_id: str | None = None,
+        **procedure_kwargs,
+    ) -> str:
+        """Open a new isolated session over a registered dataset.
+
+        *dataset* may be a registry name or a dataset object (which is
+        auto-registered; if its display name is already taken by a
+        *different* object, a unique generation-suffixed name is used —
+        display names are not unique across datasets, registry names
+        must be).  Every session gets a fresh procedure instance: wealth
+        ledgers are never shared.
+        """
+        if isinstance(dataset, Dataset):
+            try:
+                ds_name = self.register_dataset(dataset)
+            except InvalidParameterError:
+                ds_name = self.register_dataset(
+                    dataset, name=f"{dataset.name}@g{dataset.generation}"
+                )
+        else:
+            ds_name = dataset
+            if ds_name not in self._datasets:
+                raise SessionError(f"no dataset registered as {ds_name!r}")
+        ds = self._datasets[ds_name].dataset
+        session = ExplorationSession(
+            ds, procedure=procedure, alpha=alpha, bins=bins, **procedure_kwargs
+        )
+        with self._registry_lock:
+            sid = session_id or f"s{self._next_session:04d}"
+            self._next_session += 1
+            if sid in self._sessions:
+                raise InvalidParameterError(f"session id {sid!r} already exists")
+            self._sessions[sid] = _ManagedSession(sid, ds_name, session)
+            self._datasets[ds_name].sessions.append(sid)
+        return sid
+
+    def close_session(self, session_id: str) -> None:
+        """Forget a session (its dataset stays registered)."""
+        with self._registry_lock:
+            managed = self._sessions.pop(session_id, None)
+            if managed is None:
+                raise SessionError(f"no session {session_id!r}")
+            self._datasets[managed.dataset_name].sessions.remove(session_id)
+
+    def session(self, session_id: str) -> ExplorationSession:
+        """Direct access to the underlying session (single-threaded use)."""
+        return self._managed(session_id).session
+
+    def session_ids(self) -> tuple[str, ...]:
+        return tuple(self._sessions)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def show(
+        self,
+        session_id: str,
+        attribute: str,
+        where: Predicate | None = None,
+        bins: int | None = None,
+        descriptive: bool = False,
+    ) -> ViewResult:
+        """One ``show()`` against a managed session (locked, logged)."""
+        managed = self._managed(session_id)
+        with managed.lock:
+            return self._show_locked(managed, attribute, where, bins, descriptive)
+
+    def dispatch(
+        self,
+        requests: Sequence[ShowRequest],
+        parallel: bool = True,
+    ) -> list[ShowResponse]:
+        """Execute a batch of requests, returning responses in batch order.
+
+        Requests addressed to the *same* session always execute in their
+        batch order (they are grouped and run sequentially under that
+        session's lock); requests for different sessions run concurrently
+        when *parallel* is true.  A failed request yields an error
+        response; it never aborts the rest of the batch.
+        """
+        groups: dict[str, list[tuple[int, ShowRequest]]] = {}
+        for i, req in enumerate(requests):
+            groups.setdefault(req.session_id, []).append((i, req))
+        responses: list[ShowResponse | None] = [None] * len(requests)
+
+        def run_group(items: list[tuple[int, ShowRequest]]) -> None:
+            for i, req in items:
+                responses[i] = self._execute(i, req)
+
+        worker_cap = self._max_workers
+        use_pool = (
+            parallel
+            and len(groups) > 1
+            and (worker_cap is None or worker_cap > 1)
+        )
+        if use_pool:
+            with ThreadPoolExecutor(max_workers=worker_cap) as pool:
+                futures = [pool.submit(run_group, g) for g in groups.values()]
+                for fut in futures:
+                    fut.result()
+        else:
+            for group in groups.values():
+                run_group(group)
+        return [r for r in responses if r is not None]
+
+    def _execute(self, index: int, req: ShowRequest) -> ShowResponse:
+        start = time.perf_counter()
+        try:
+            managed = self._managed(req.session_id)
+            with managed.lock:
+                result = self._show_locked(
+                    managed, req.attribute, req.where, req.bins, req.descriptive
+                )
+            return ShowResponse(req, index, result, None, time.perf_counter() - start)
+        except Exception as exc:  # noqa: BLE001 - a batch survives bad requests
+            return ShowResponse(
+                req, index, None, f"{type(exc).__name__}: {exc}",
+                time.perf_counter() - start,
+            )
+
+    def _show_locked(
+        self,
+        managed: _ManagedSession,
+        attribute: str,
+        where: Predicate | None,
+        bins: int | None,
+        descriptive: bool,
+    ) -> ViewResult:
+        start = time.perf_counter()
+        result = managed.session.show(
+            attribute, where=where, bins=bins, descriptive=descriptive
+        )
+        managed.shows += 1
+        managed.total_latency_s += time.perf_counter() - start
+        hyp = result.hypothesis
+        if hyp is not None and hyp.decision is not None:
+            decision = hyp.decision
+            managed.log.append(
+                DecisionRecord(
+                    seq=len(managed.log),
+                    hypothesis_id=hyp.hypothesis_id,
+                    kind=hyp.kind,
+                    p_value=decision.p_value,
+                    level=decision.level,
+                    rejected=decision.rejected,
+                    wealth_after=decision.wealth_after,
+                )
+            )
+        return result
+
+    # -- logs & stats --------------------------------------------------------
+
+    def decision_log(self, session_id: str) -> tuple[DecisionRecord, ...]:
+        """The session's decision log, in dispatch order."""
+        managed = self._managed(session_id)
+        with managed.lock:
+            return tuple(managed.log)
+
+    def decision_log_bytes(self, session_id: str) -> bytes:
+        """Canonical serialized decision log (for byte-level comparison)."""
+        records = [r.to_dict() for r in self.decision_log(session_id)]
+        return json.dumps(records, sort_keys=True).encode()
+
+    def wealth(self, session_id: str) -> float:
+        """Remaining α-wealth of one session."""
+        return self._managed(session_id).session.wealth
+
+    def session_stats(self, session_id: str) -> SessionStats:
+        managed = self._managed(session_id)
+        with managed.lock:
+            return SessionStats(
+                session_id=session_id,
+                dataset_name=managed.dataset_name,
+                shows=managed.shows,
+                decisions=len(managed.log),
+                wealth=managed.session.wealth,
+                total_latency_s=managed.total_latency_s,
+            )
+
+    def stats(self) -> ServiceStats:
+        """Aggregate counters across every session and registered dataset."""
+        shows = decisions = 0
+        for managed in list(self._sessions.values()):
+            with managed.lock:
+                shows += managed.shows
+                decisions += len(managed.log)
+        mask_hits = mask_misses = hist_hits = hist_misses = 0
+        # snapshot: another thread may register a dataset mid-iteration
+        for reg in list(self._datasets.values()):
+            mask_cache = getattr(reg.dataset, "_mask_cache", None)
+            if mask_cache is not None:
+                mask_hits += mask_cache.hits
+                mask_misses += mask_cache.misses
+            hist_cache = getattr(reg.dataset, "_hist_cache", None)
+            if hist_cache is not None:
+                hist_hits += hist_cache.hits
+                hist_misses += hist_cache.misses
+        return ServiceStats(
+            sessions=len(self._sessions),
+            datasets=len(self._datasets),
+            shows=shows,
+            decisions=decisions,
+            mask_cache_hits=mask_hits,
+            mask_cache_misses=mask_misses,
+            hist_cache_hits=hist_hits,
+            hist_cache_misses=hist_misses,
+        )
+
+    def _managed(self, session_id: str) -> _ManagedSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SessionError(f"no session {session_id!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SessionManager(sessions={len(self._sessions)}, "
+            f"datasets={len(self._datasets)})"
+        )

@@ -1,0 +1,357 @@
+"""Scale sweep: replay exploration workloads across a (rows × sessions) grid.
+
+The paper's interactivity argument (Sec. 3) is a *latency* argument, and
+Hardt & Ullman's hardness result makes *many adaptive analysts* the
+stressful regime — so the scale surface worth measuring is the grid of
+dataset size × concurrent sessions.  :class:`ScaleSweep` drives a
+:class:`~repro.service.manager.SessionManager` through that grid, one
+cell at a time:
+
+* every cell gets a **fresh zero-copy view** of the row-scale's base
+  census (new object ⇒ empty mask/histogram caches), so each cell
+  measures its own cold-to-warm cache trajectory instead of inheriting
+  the previous cell's;
+* ``synthetic`` workload — sessions draw panel requests from a shared
+  deterministic (attribute, filter) pool, the "many analysts on the same
+  dashboard" case where cross-session mask sharing should shine;
+* ``user-study`` workload — every session replays the fixed-order Exp. 2
+  user-study panels (attribute + accumulated filter chain) through the
+  service ``show()`` path.
+
+Each cell reports mean/p95 per-show latency, aggregate throughput, the
+combined shared-cache (mask + histogram) hit rate, and discovery counts;
+:func:`append_record`
+appends one attributable record (git sha, python, machine, grid) to
+``BENCH_scale.json`` so runs accumulate instead of overwriting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.exploration.dataset import Dataset
+from repro.exploration.predicate import Predicate
+from repro.service.manager import SessionManager, ShowRequest
+from repro.workloads.census import make_census
+from repro.workloads.user_study import make_user_study_workflow
+
+__all__ = [
+    "SweepCell",
+    "ScaleSweep",
+    "WORKLOADS",
+    "append_record",
+    "format_cells",
+    "run_metadata",
+    "sweep_extra",
+]
+
+#: Workload names understood by the sweep.
+WORKLOADS: tuple[str, ...] = ("synthetic", "user-study")
+
+#: Size of the shared (attribute, filter) pool for the synthetic workload.
+_SYNTHETIC_POOL_SIZE = 64
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """Measured result of one (rows, sessions, workload) grid cell."""
+
+    rows: int
+    sessions: int
+    workload: str
+    steps_per_session: int
+    total_shows: int
+    errors: int
+    mean_show_latency_ms: float
+    p95_show_latency_ms: float
+    wall_s: float
+    throughput_shows_per_s: float
+    cache_hit_rate: float
+    discoveries: int
+
+    def to_dict(self) -> dict:
+        return {
+            "rows": self.rows,
+            "sessions": self.sessions,
+            "workload": self.workload,
+            "steps_per_session": self.steps_per_session,
+            "total_shows": self.total_shows,
+            "errors": self.errors,
+            "mean_show_latency_ms": self.mean_show_latency_ms,
+            "p95_show_latency_ms": self.p95_show_latency_ms,
+            "wall_s": self.wall_s,
+            "throughput_shows_per_s": self.throughput_shows_per_s,
+            "cache_hit_rate": self.cache_hit_rate,
+            "discoveries": self.discoveries,
+        }
+
+
+def _synthetic_pool(dataset: Dataset, seed: int) -> list[tuple[str, Predicate]]:
+    """Deterministic shared pool of (target attribute, filter) panels."""
+    from repro.exploration.predicate import Eq
+
+    categorical = [n for n in dataset.column_names if dataset.is_categorical(n)]
+    if len(categorical) < 2:
+        raise InvalidParameterError("synthetic workload needs >= 2 categorical columns")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0xC0FFEE]))
+    pool: list[tuple[str, Predicate]] = []
+    seen: set[tuple] = set()
+    guard = 0
+    while len(pool) < _SYNTHETIC_POOL_SIZE and guard < _SYNTHETIC_POOL_SIZE * 50:
+        guard += 1
+        target = categorical[int(rng.integers(len(categorical)))]
+        filt_attr = categorical[int(rng.integers(len(categorical)))]
+        if filt_attr == target:
+            continue
+        cats = dataset.categories(filt_attr)
+        category = cats[int(rng.integers(len(cats)))]
+        key = (target, filt_attr, category)
+        if key in seen:
+            continue
+        seen.add(key)
+        pool.append((target, Eq(filt_attr, category)))
+    return pool
+
+
+def _synthetic_requests(
+    dataset: Dataset, session_ids: Sequence[str], steps: int, seed: int
+) -> list[ShowRequest]:
+    """Round-robin request stream: each session draws from the shared pool."""
+    pool = _synthetic_pool(dataset, seed)
+    per_session: list[list[ShowRequest]] = []
+    for s_idx, sid in enumerate(session_ids):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 1 + s_idx]))
+        picks = rng.integers(len(pool), size=steps)
+        per_session.append(
+            [ShowRequest(sid, pool[int(p)][0], where=pool[int(p)][1]) for p in picks]
+        )
+    return _interleave(per_session)
+
+
+def _user_study_requests(
+    dataset: Dataset, session_ids: Sequence[str], steps: int, seed: int
+) -> list[ShowRequest]:
+    """Every session replays the same fixed-order user-study panels."""
+    workflow = make_user_study_workflow(dataset, n_steps=steps, seed=seed)
+    per_session = [
+        [
+            ShowRequest(sid, step.target_attribute, where=step.predicate)
+            for step in workflow.steps
+        ]
+        for sid in session_ids
+    ]
+    return _interleave(per_session)
+
+
+def _interleave(per_session: list[list[ShowRequest]]) -> list[ShowRequest]:
+    """Round-robin merge, mimicking concurrent arrival across sessions."""
+    out: list[ShowRequest] = []
+    for batch in zip(*per_session):
+        out.extend(batch)
+    return out
+
+
+class ScaleSweep:
+    """Driver for the (rows × sessions × workload) benchmark grid.
+
+    Parameters
+    ----------
+    rows_grid / sessions_grid:
+        The grid axes.  Cells run in increasing (rows, sessions) order.
+    steps:
+        Panels per session per cell.
+    seed:
+        Seeds the census, the workload generators, and nothing else.
+    workloads:
+        Subset of :data:`WORKLOADS` to run per grid point.
+    parallel:
+        Dispatch sessions on a thread pool (the service path) instead of
+        serially.  Decisions are identical either way — that is the
+        service contract — only latency changes.
+    """
+
+    def __init__(
+        self,
+        rows_grid: Sequence[int] = (10_000, 100_000, 1_000_000),
+        sessions_grid: Sequence[int] = (1, 16, 128),
+        steps: int = 40,
+        seed: int = 0,
+        workloads: Sequence[str] = WORKLOADS,
+        procedure: str = "epsilon-hybrid",
+        parallel: bool = True,
+        max_workers: int | None = None,
+    ) -> None:
+        if not rows_grid or min(rows_grid) < 100:
+            raise InvalidParameterError("rows_grid values must be >= 100")
+        if not sessions_grid or min(sessions_grid) < 1:
+            raise InvalidParameterError("sessions_grid values must be >= 1")
+        if steps < 1:
+            raise InvalidParameterError("steps must be >= 1")
+        unknown = set(workloads) - set(WORKLOADS)
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown workloads {sorted(unknown)}; known: {list(WORKLOADS)}"
+            )
+        self.rows_grid = tuple(sorted(set(int(r) for r in rows_grid)))
+        self.sessions_grid = tuple(sorted(set(int(s) for s in sessions_grid)))
+        self.steps = int(steps)
+        self.seed = int(seed)
+        self.workloads = tuple(workloads)
+        self.procedure = procedure
+        self.parallel = parallel
+        self.max_workers = max_workers
+
+    def run(self, progress: Callable[[str], None] | None = None) -> list[SweepCell]:
+        """Run every grid cell; returns the cells in execution order."""
+        say = progress or (lambda _msg: None)
+        cells: list[SweepCell] = []
+        for rows in self.rows_grid:
+            say(f"generating census: {rows} rows")
+            base = make_census(rows, seed=self.seed)
+            for n_sessions in self.sessions_grid:
+                for workload in self.workloads:
+                    say(f"cell rows={rows} sessions={n_sessions} workload={workload}")
+                    cells.append(self.run_cell(base, n_sessions, workload))
+        return cells
+
+    def run_cell(self, base: Dataset, n_sessions: int, workload: str) -> SweepCell:
+        """Measure one grid cell on a fresh view of *base*."""
+        # Fresh object => empty caches; zero-copy, so even the 1M-row cell
+        # costs an index array, not a column copy.
+        dataset = base.select_index(
+            np.arange(base.n_rows, dtype=np.intp), name=f"{base.name}[cell]"
+        )
+        manager = SessionManager(max_workers=self.max_workers)
+        manager.register_dataset(dataset, name="cell")
+        session_ids = [
+            manager.create_session("cell", procedure=self.procedure)
+            for _ in range(n_sessions)
+        ]
+        # Workload generation probes predicate masks (the user-study
+        # generator evaluates filter prevalence), so build the request
+        # streams against *base* — never the measured view — or the
+        # cell would start with warmed caches and polluted hit counters.
+        # Requests carry only structural predicates, valid on any view.
+        if workload == "synthetic":
+            requests = _synthetic_requests(base, session_ids, self.steps, self.seed)
+        else:
+            requests = _user_study_requests(base, session_ids, self.steps, self.seed)
+        start = time.perf_counter()
+        responses = manager.dispatch(requests, parallel=self.parallel)
+        wall = time.perf_counter() - start
+        latencies = np.array([r.latency_s for r in responses if r.ok], dtype=float)
+        errors = sum(1 for r in responses if not r.ok)
+        stats = manager.stats()
+        discoveries = sum(
+            len(manager.session(sid).discoveries()) for sid in session_ids
+        )
+        return SweepCell(
+            rows=dataset.n_rows,
+            sessions=n_sessions,
+            workload=workload,
+            steps_per_session=self.steps,
+            total_shows=len(responses),
+            errors=errors,
+            mean_show_latency_ms=float(latencies.mean() * 1e3) if latencies.size else 0.0,
+            p95_show_latency_ms=(
+                float(np.percentile(latencies, 95) * 1e3) if latencies.size else 0.0
+            ),
+            wall_s=float(wall),
+            throughput_shows_per_s=float(len(responses) / wall) if wall > 0 else 0.0,
+            cache_hit_rate=stats.shared_cache_hit_rate,
+            discoveries=discoveries,
+        )
+
+
+def sweep_extra(sweep: ScaleSweep, label: str | None = None) -> dict:
+    """Canonical record extras for *sweep* (single-sited so the CLI and
+    the benchmarks script can never drift on the ledger schema)."""
+    extra = {"steps": sweep.steps, "seed": sweep.seed, "parallel": sweep.parallel}
+    if label:
+        extra["label"] = label
+    return extra
+
+
+def format_cells(cells: Sequence[SweepCell]) -> str:
+    """Fixed-width table of sweep cells (shared by both entry points)."""
+    header = (
+        f"{'rows':>9} {'sessions':>8} {'workload':>10} {'shows':>6} "
+        f"{'mean ms':>8} {'p95 ms':>8} {'shows/s':>9} {'hit%':>6} {'disc':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for c in cells:
+        lines.append(
+            f"{c.rows:>9d} {c.sessions:>8d} {c.workload:>10} {c.total_shows:>6d} "
+            f"{c.mean_show_latency_ms:>8.3f} {c.p95_show_latency_ms:>8.3f} "
+            f"{c.throughput_shows_per_s:>9.0f} {c.cache_hit_rate:>6.1%} "
+            f"{c.discoveries:>5d}"
+        )
+    return "\n".join(lines)
+
+
+def run_metadata() -> dict:
+    """Attribution block for benchmark records (sha, python, machine).
+
+    Mirrors ``benchmarks/run_benchmarks.py``: on detached/shallow CI
+    checkouts where ``git rev-parse`` fails, ``GITHUB_SHA`` keeps the
+    record attributable.
+    """
+    sha = "unknown"
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=Path(__file__).resolve().parent,
+        )
+        sha = out.stdout.strip() or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        pass
+    if sha == "unknown":
+        sha = os.environ.get("GITHUB_SHA", "unknown")
+    return {
+        "git_sha": sha,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def append_record(
+    path: Path | str,
+    cells: Sequence[SweepCell],
+    extra: dict | None = None,
+) -> dict:
+    """Append one sweep record to the ``BENCH_scale.json`` ledger at *path*.
+
+    The file holds ``{"suite": "scale-sweep", "records": [...]}``; every
+    run appends one record (metadata + its grid cells) so history
+    accumulates across machines and commits.  Returns the record written.
+    """
+    path = Path(path)
+    if path.exists():
+        payload = json.loads(path.read_text())
+        if payload.get("suite") != "scale-sweep" or not isinstance(
+            payload.get("records"), list
+        ):
+            raise InvalidParameterError(f"{path} is not a scale-sweep ledger")
+    else:
+        payload = {"suite": "scale-sweep", "records": []}
+    record = dict(run_metadata())
+    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    if extra:
+        record.update(extra)
+    record["cells"] = [c.to_dict() for c in cells]
+    payload["records"].append(record)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return record

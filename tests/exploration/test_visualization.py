@@ -1,7 +1,5 @@
 """Visualization specs: chains, filtering, sibling detection."""
 
-import pytest
-
 from repro.exploration.predicate import And, Eq, Not, TRUE
 from repro.exploration.visualization import Visualization, chain
 

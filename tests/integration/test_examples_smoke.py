@@ -6,7 +6,6 @@ we execute the fast examples end-to-end exactly as a user would.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

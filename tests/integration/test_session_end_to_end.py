@@ -1,7 +1,6 @@
 """End-to-end AWARE sessions: long explorations, revisions, Theorem 1."""
 
 import numpy as np
-import pytest
 
 from repro.exploration.hypotheses import HypothesisStatus
 from repro.exploration.predicate import Eq, Not

@@ -1,6 +1,5 @@
 """Sec. 5.8 wealth recovery: BH revalidation of an exhausted stream."""
 
-import numpy as np
 import pytest
 
 from repro.errors import InvalidParameterError

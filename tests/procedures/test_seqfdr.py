@@ -1,7 +1,6 @@
 """Sequential FDR (ForwardStop/StrongStop): order sensitivity and control."""
 
 import numpy as np
-import pytest
 
 from repro.procedures.seqfdr import ForwardStop, StrongStop, forward_stop_k, strong_stop_k
 

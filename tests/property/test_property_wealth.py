@@ -1,6 +1,5 @@
 """Property-based tests: the wealth ledger and investing engine invariants."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

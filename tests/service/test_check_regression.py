@@ -1,0 +1,102 @@
+"""The CI perf-regression gate: comparison logic and exit codes."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py"
+)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def _record(means: dict[str, float]) -> dict:
+    return {
+        "suite": "interactive-latency",
+        "benchmarks": {
+            name: {"mean_s": mean, "stddev_s": mean / 10, "rounds": 100}
+            for name, mean in means.items()
+        },
+    }
+
+
+def _write(tmp_path: Path, name: str, means: dict[str, float]) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps(_record(means)))
+    return path
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        rows, failures = check_regression.compare(
+            {"a": 1e-3}, {"a": 2e-3}, threshold=2.5
+        )
+        assert failures == []
+        assert rows[0]["status"] == "ok"
+        assert rows[0]["ratio"] == pytest.approx(2.0)
+
+    def test_regression_beyond_threshold_fails(self):
+        rows, failures = check_regression.compare(
+            {"a": 1e-3, "b": 1e-3}, {"a": 3e-3, "b": 1e-3}, threshold=2.5
+        )
+        assert len(failures) == 1 and "a" in failures[0]
+        assert {r["name"]: r["status"] for r in rows} == {"a": "fail", "b": "ok"}
+
+    def test_speedup_passes(self):
+        _, failures = check_regression.compare({"a": 1e-3}, {"a": 1e-5}, 2.5)
+        assert failures == []
+
+    def test_missing_benchmark_fails(self):
+        rows, failures = check_regression.compare({"a": 1e-3, "b": 1e-3}, {"a": 1e-3}, 2.5)
+        assert any("missing" in f for f in failures)
+        assert {r["name"]: r["status"] for r in rows} == {"a": "ok", "b": "missing"}
+
+    def test_new_benchmark_reported_not_failed(self):
+        rows, failures = check_regression.compare({"a": 1e-3}, {"a": 1e-3, "c": 5.0}, 2.5)
+        assert failures == []
+        assert {r["name"]: r["status"] for r in rows} == {"a": "ok", "c": "new"}
+
+
+class TestMainAndSummary:
+    def test_exit_zero_and_summary_table(self, tmp_path, monkeypatch, capsys):
+        baseline = _write(tmp_path, "base.json", {"a": 1e-3})
+        candidate = _write(tmp_path, "cand.json", {"a": 1.5e-3})
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        rc = check_regression.main(
+            ["--baseline", str(baseline), "--candidate", str(candidate)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "| `a` |" in out and "perf gate passed" in out
+        assert "| baseline mean | candidate mean |" in summary.read_text()
+
+    def test_exit_one_on_regression(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline = _write(tmp_path, "base.json", {"a": 1e-3})
+        candidate = _write(tmp_path, "cand.json", {"a": 1e-2})
+        rc = check_regression.main(
+            ["--baseline", str(baseline), "--candidate", str(candidate)]
+        )
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_flag_respected(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline = _write(tmp_path, "base.json", {"a": 1e-3})
+        candidate = _write(tmp_path, "cand.json", {"a": 4e-3})
+        assert check_regression.main(
+            ["--baseline", str(baseline), "--candidate", str(candidate),
+             "--threshold", "5.0"]
+        ) == 0
+
+    def test_gate_against_committed_baseline_format(self):
+        """The committed BENCH_interactive.json must be readable by the gate."""
+        means = check_regression.load_means(REPO_ROOT / "BENCH_interactive.json")
+        assert means  # non-empty: the gate has something to guard
+        assert all(m > 0 for m in means.values())

@@ -1,0 +1,257 @@
+"""SessionManager: registry, isolation, batched dispatch, decision logs."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import InvalidParameterError, SessionError
+from repro.exploration.engine import ThreadSafeLRUCache
+from repro.exploration.predicate import Eq
+from repro.exploration.session import ExplorationSession
+from repro.service import SessionManager, ShowRequest
+from repro.workloads.census import make_census
+
+
+@pytest.fixture()
+def manager(census):
+    m = SessionManager()
+    m.register_dataset(census, name="census")
+    return m
+
+
+def _panel_requests(census, session_id, attribute="sex", filter_attr="occupation"):
+    return [
+        ShowRequest(session_id, attribute, where=Eq(filter_attr, cat))
+        for cat in census.categories(filter_attr)
+    ]
+
+
+class TestRegistry:
+    def test_register_upgrades_caches_to_thread_safe(self, census):
+        m = SessionManager()
+        m.register_dataset(census, name="census")
+        assert isinstance(census._mask_cache, ThreadSafeLRUCache)
+        assert isinstance(census._hist_cache, ThreadSafeLRUCache)
+
+    def test_register_preserves_warmed_entries(self):
+        ds = make_census(500, seed=3)
+        pred = Eq("sex", ds.categories("sex")[0])
+        pred.mask(ds)  # warm one mask
+        warmed = len(ds._mask_cache)
+        SessionManager().register_dataset(ds, name="warm")
+        assert len(ds._mask_cache) == warmed
+        assert ds._mask_cache.get(pred) is not None
+
+    def test_register_idempotent_same_object(self, census):
+        m = SessionManager()
+        assert m.register_dataset(census, name="x") == "x"
+        assert m.register_dataset(census, name="x") == "x"
+        assert m.dataset_names() == ("x",)
+
+    def test_register_conflicting_object_rejected(self, census):
+        m = SessionManager()
+        m.register_dataset(census, name="x")
+        with pytest.raises(InvalidParameterError):
+            m.register_dataset(make_census(500, seed=1), name="x")
+
+    def test_unknown_dataset_and_session_raise(self, manager):
+        with pytest.raises(SessionError):
+            manager.dataset("nope")
+        with pytest.raises(SessionError):
+            manager.create_session("nope")
+        with pytest.raises(SessionError):
+            manager.show("missing", "sex")
+
+    def test_create_session_autoregisters_dataset_object(self, census):
+        m = SessionManager()
+        sid = m.create_session(census)
+        assert census.name in m.dataset_names()
+        assert isinstance(m.session(sid), ExplorationSession)
+
+    def test_autoregistration_disambiguates_name_collisions(self):
+        # every make_census shares the display name "synthetic-census";
+        # a multi-tenant manager must keep both objects apart
+        m = SessionManager()
+        first = make_census(300, seed=0)
+        second = make_census(300, seed=1)
+        a = m.create_session(first)
+        b = m.create_session(second)
+        assert len(m.dataset_names()) == 2
+        assert m.session(a).dataset is first
+        assert m.session(b).dataset is second
+
+    def test_close_session(self, manager):
+        sid = manager.create_session("census")
+        manager.close_session(sid)
+        assert sid not in manager.session_ids()
+        with pytest.raises(SessionError):
+            manager.close_session(sid)
+
+
+class TestIsolation:
+    def test_sessions_have_independent_wealth(self, manager, census):
+        a = manager.create_session("census")
+        b = manager.create_session("census")
+        initial = manager.wealth(b)
+        for req in _panel_requests(census, a):
+            manager.show(req.session_id, req.attribute, where=req.where)
+        # a spent wealth; b never tested, so its ledger is untouched
+        assert manager.wealth(a) != initial
+        assert manager.wealth(b) == initial
+        assert manager.decision_log(b) == ()
+
+    def test_sessions_have_independent_procedure_instances(self, manager):
+        a = manager.create_session("census")
+        b = manager.create_session("census")
+        assert manager.session(a).procedure is not manager.session(b).procedure
+
+    def test_dispatch_never_overturns_earlier_decisions(self, manager, census):
+        """Interleaved dispatch across sessions keeps per-session logs
+        append-only: earlier records are byte-identical after more traffic."""
+        a = manager.create_session("census")
+        b = manager.create_session("census")
+        first = _panel_requests(census, a)[:3] + _panel_requests(census, b)[:3]
+        manager.dispatch(first)
+        snapshot_a = manager.decision_log(a)
+        snapshot_b = manager.decision_log(b)
+        more = (
+            _panel_requests(census, a, attribute="education")[3:]
+            + _panel_requests(census, b, attribute="race")[3:]
+        )
+        manager.dispatch(more)
+        assert manager.decision_log(a)[: len(snapshot_a)] == snapshot_a
+        assert manager.decision_log(b)[: len(snapshot_b)] == snapshot_b
+
+
+class TestDispatch:
+    def test_responses_in_batch_order(self, manager, census):
+        a = manager.create_session("census")
+        b = manager.create_session("census")
+        reqs = []
+        for ra, rb in zip(_panel_requests(census, a), _panel_requests(census, b)):
+            reqs.extend([ra, rb])
+        responses = manager.dispatch(reqs)
+        assert [r.request for r in responses] == reqs
+        assert [r.index for r in responses] == list(range(len(reqs)))
+        assert all(r.ok for r in responses)
+
+    def test_same_session_requests_execute_in_order(self, manager, census):
+        sid = manager.create_session("census")
+        reqs = _panel_requests(census, sid)
+        manager.dispatch(reqs)
+        log = manager.decision_log(sid)
+        assert [r.seq for r in log] == list(range(len(log)))
+        # hypothesis ids grow with submission order within the session
+        ids = [r.hypothesis_id for r in log]
+        assert ids == sorted(ids)
+
+    def test_serial_and_parallel_dispatch_agree(self, census):
+        outcomes = []
+        for parallel in (False, True):
+            m = SessionManager()
+            ds = make_census(2_000, seed=0)
+            m.register_dataset(ds, name="census")
+            sids = [m.create_session("census") for _ in range(4)]
+            reqs = []
+            for sid in sids:
+                reqs.extend(_panel_requests(ds, sid))
+            m.dispatch(reqs, parallel=parallel)
+            outcomes.append([m.decision_log_bytes(sid) for sid in sids])
+        assert outcomes[0] == outcomes[1]
+
+    def test_bad_request_yields_error_response_not_abort(self, manager, census):
+        sid = manager.create_session("census")
+        reqs = [
+            ShowRequest(sid, "sex"),
+            ShowRequest(sid, "no_such_column"),
+            ShowRequest("ghost-session", "sex"),
+            ShowRequest(sid, "education"),
+        ]
+        responses = manager.dispatch(reqs)
+        assert [r.ok for r in responses] == [True, False, False, True]
+        assert "SchemaError" in responses[1].error
+        assert "SessionError" in responses[2].error
+
+    def test_max_workers_zero_forces_serial(self, census):
+        m = SessionManager(max_workers=0)
+        ds = make_census(1_000, seed=0)
+        m.register_dataset(ds, name="census")
+        sids = [m.create_session("census") for _ in range(2)]
+        reqs = [ShowRequest(s, "sex", where=Eq("occupation", c))
+                for s in sids for c in ds.categories("occupation")[:3]]
+        responses = m.dispatch(reqs)
+        assert all(r.ok for r in responses)
+
+    def test_negative_max_workers_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SessionManager(max_workers=-1)
+
+
+class TestSharedCache:
+    def test_results_shared_across_sessions(self):
+        m = SessionManager()
+        ds = make_census(2_000, seed=0)
+        m.register_dataset(ds, name="census")
+        a = m.create_session("census")
+        b = m.create_session("census")
+        cat = ds.categories("occupation")[0]
+        m.show(a, "sex", where=Eq("occupation", cat))
+        before = m.stats()
+        m.show(b, "sex", where=Eq("occupation", cat))
+        after = m.stats()
+        # session b's identical panel must be served from the shared
+        # caches: some hits accrue (the histogram cache short-circuits
+        # the mask probe) and no new mask computation happens
+        assert (after.mask_cache_hits + after.hist_cache_hits) > (
+            before.mask_cache_hits + before.hist_cache_hits
+        )
+        assert after.mask_cache_misses == before.mask_cache_misses
+        assert after.shared_cache_hit_rate > 0
+
+    def test_thread_safe_cache_under_contention(self):
+        cache = ThreadSafeLRUCache(8)
+        errors = []
+
+        def hammer(t):
+            try:
+                for i in range(2_000):
+                    cache.put((t, i % 16), i)
+                    cache.get((t, (i + 1) % 16))
+                    len(cache)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 8
+
+
+class TestLogsAndStats:
+    def test_decision_log_bytes_canonical_json(self, manager, census):
+        sid = manager.create_session("census")
+        manager.dispatch(_panel_requests(census, sid))
+        payload = json.loads(manager.decision_log_bytes(sid))
+        assert len(payload) == len(manager.decision_log(sid))
+        for entry in payload:
+            assert set(entry) == {
+                "seq", "hypothesis_id", "kind", "p_value", "level",
+                "rejected", "wealth_after",
+            }
+            float(entry["p_value"])  # repr round-trips
+
+    def test_session_and_service_stats(self, manager, census):
+        sid = manager.create_session("census")
+        manager.dispatch(_panel_requests(census, sid))
+        s = manager.session_stats(sid)
+        assert s.shows == len(census.categories("occupation"))
+        assert s.decisions == len(manager.decision_log(sid))
+        assert s.total_latency_s > 0
+        svc = manager.stats()
+        assert svc.sessions >= 1 and svc.datasets == 1
+        assert svc.shows >= s.shows
+        assert 0.0 <= svc.mask_cache_hit_rate <= 1.0

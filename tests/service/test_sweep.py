@@ -1,0 +1,155 @@
+"""ScaleSweep: grid execution, ledger append semantics, CLI entry points."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service.sweep import ScaleSweep, append_record, run_metadata
+from repro.workloads.census import make_census
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def small_cells():
+    sweep = ScaleSweep(
+        rows_grid=(1_000,), sessions_grid=(1, 3), steps=6, seed=0
+    )
+    return sweep.run()
+
+
+class TestSweep:
+    def test_grid_shape(self, small_cells):
+        # 1 row scale x 2 session counts x 2 workloads
+        assert len(small_cells) == 4
+        assert {(c.sessions, c.workload) for c in small_cells} == {
+            (1, "synthetic"), (1, "user-study"),
+            (3, "synthetic"), (3, "user-study"),
+        }
+
+    def test_cells_measure_latency_and_throughput(self, small_cells):
+        for cell in small_cells:
+            assert cell.total_shows == cell.sessions * cell.steps_per_session
+            assert cell.errors == 0
+            assert cell.mean_show_latency_ms > 0
+            assert cell.p95_show_latency_ms >= 0
+            assert cell.throughput_shows_per_s > 0
+            assert 0.0 <= cell.cache_hit_rate <= 1.0
+
+    def test_multi_session_cells_share_masks(self, small_cells):
+        multi = [c for c in small_cells if c.sessions == 3]
+        # identical panel streams across sessions must produce cache hits
+        assert all(c.cache_hit_rate > 0 for c in multi)
+
+    def test_serial_and_parallel_sweeps_same_discoveries(self):
+        base = make_census(1_500, seed=0)
+        kwargs = dict(rows_grid=(1_500,), sessions_grid=(3,), steps=6, seed=0)
+        serial = ScaleSweep(parallel=False, **kwargs).run_cell(base, 3, "synthetic")
+        threaded = ScaleSweep(parallel=True, **kwargs).run_cell(base, 3, "synthetic")
+        assert serial.discoveries == threaded.discoveries
+        assert serial.total_shows == threaded.total_shows
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            ScaleSweep(rows_grid=())
+        with pytest.raises(InvalidParameterError):
+            ScaleSweep(sessions_grid=(0,))
+        with pytest.raises(InvalidParameterError):
+            ScaleSweep(steps=0)
+        with pytest.raises(InvalidParameterError):
+            ScaleSweep(workloads=("nope",))
+
+
+class TestLedger:
+    def test_append_record_creates_and_accumulates(self, small_cells, tmp_path):
+        path = tmp_path / "BENCH_scale.json"
+        first = append_record(path, small_cells, extra={"label": "t1"})
+        assert first["cells"][0]["mean_show_latency_ms"] > 0
+        append_record(path, small_cells[:1], extra={"label": "t2"})
+        payload = json.loads(path.read_text())
+        assert payload["suite"] == "scale-sweep"
+        assert [r["label"] for r in payload["records"]] == ["t1", "t2"]
+        assert len(payload["records"][0]["cells"]) == 4
+        assert len(payload["records"][1]["cells"]) == 1
+
+    def test_append_record_rejects_foreign_file(self, small_cells, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(InvalidParameterError):
+            append_record(path, small_cells)
+
+    def test_metadata_attributable(self):
+        meta = run_metadata()
+        assert set(meta) == {"git_sha", "python", "machine"}
+        # inside this git repo the sha must resolve to a real commit
+        assert meta["git_sha"] != "unknown"
+
+
+class TestCliEntryPoints:
+    def test_run_scale_sweep_script(self, tmp_path):
+        """The acceptance-criteria path, at reduced scale."""
+        out = tmp_path / "BENCH_scale.json"
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "benchmarks" / "run_scale_sweep.py"),
+                "--rows", "1000", "--sessions", "2", "--steps", "5",
+                "--output", str(out),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(out.read_text())
+        cells = payload["records"][0]["cells"]
+        assert {c["workload"] for c in cells} == {"synthetic", "user-study"}
+        for cell in cells:
+            assert cell["mean_show_latency_ms"] > 0
+            assert cell["throughput_shows_per_s"] > 0
+
+    def test_serve_sweep_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "serve-sweep", "--rows", "1000", "--sessions", "2", "--steps", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "service scale sweep" in out
+        assert "shows/s" in out
+
+    def test_serve_sweep_ledger_schema_matches_script(self, tmp_path, capsys):
+        """Both entry points must write the same record keys (notably
+        ``parallel``, so serial records stay distinguishable)."""
+        from repro.cli import main
+
+        out = tmp_path / "ledger.json"
+        assert main([
+            "serve-sweep", "--rows", "1000", "--sessions", "2", "--steps", "4",
+            "--serial", "--label", "cli-test", "--output", str(out),
+        ]) == 0
+        capsys.readouterr()
+        record = json.loads(out.read_text())["records"][0]
+        assert record["parallel"] is False
+        assert record["label"] == "cli-test"
+        assert {"git_sha", "python", "machine", "timestamp", "steps", "seed",
+                "cells"} <= set(record)
+
+    def test_workload_generation_does_not_warm_measured_cell(self):
+        """User-study workload generation probes masks for prevalence;
+        those probes must land on the base dataset, not the measured
+        view, or cells would start warm and report polluted hit rates."""
+        base = make_census(1_000, seed=0)
+        assert len(base._mask_cache) == 0
+        cell = ScaleSweep(
+            rows_grid=(1_000,), sessions_grid=(1,), steps=5, seed=0
+        ).run_cell(base, 1, "user-study")
+        # generation traffic went to base...
+        assert len(base._mask_cache) > 0
+        # ...so the measured single-session cell still saw cold-cache
+        # misses for its distinct panels
+        assert cell.cache_hit_rate < 1.0

@@ -1,6 +1,5 @@
 """p-value combination: Fisher and Stouffer."""
 
-import numpy as np
 import pytest
 from scipy import stats as scipy_stats
 
