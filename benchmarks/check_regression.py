@@ -31,10 +31,22 @@ DEFAULT_THRESHOLD = 2.5
 
 
 def load_means(path: Path) -> dict[str, float]:
-    """``{benchmark name: mean seconds}`` from a BENCH_interactive record."""
+    """``{benchmark name: mean seconds}`` from a benchmark record.
+
+    Understands both record shapes in the repo: the flat
+    ``BENCH_interactive.json`` summary (``{"benchmarks": {...}}``) and
+    append-only ledgers like ``BENCH_api.json``
+    (``{"records": [..., {"benchmarks": {...}}]}``), where the *latest*
+    record is the one gated.
+    """
     payload = json.loads(path.read_text())
+    records = payload.get("records")
+    if isinstance(records, list) and records:
+        benchmarks = records[-1].get("benchmarks", {})
+    else:
+        benchmarks = payload.get("benchmarks", {})
     means: dict[str, float] = {}
-    for name, stats in payload.get("benchmarks", {}).items():
+    for name, stats in benchmarks.items():
         mean = stats.get("mean_s")
         if isinstance(mean, (int, float)) and mean > 0:
             means[name] = float(mean)

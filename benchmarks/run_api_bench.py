@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Protocol-level throughput/latency benchmark → ``BENCH_api.json``.
+
+Measures the cost of the wire boundary itself, layer by layer, so a
+regression pinpoints *which* layer slowed down:
+
+* ``protocol_roundtrip`` — encode + JSON + decode of a representative
+  ``show`` command with a nested predicate (no dispatch);
+* ``service_show`` — a full ``ExplorationService.handle`` round trip
+  in-process (dispatch + engine + envelope, no HTTP);
+* ``http_show`` — the same command through the asyncio HTTP server and
+  blocking client over localhost (measures transport overhead);
+* ``http_read`` — a read-only ``wealth`` command over HTTP (no engine
+  work: nearly pure protocol + transport cost).
+
+The ledger follows the same attributable-record conventions as
+``BENCH_scale.json``: ``{"suite": "api-bench", "records": [...]}``,
+append-only, each record carrying ``{git_sha, python, machine,
+timestamp, benchmarks: {name: {mean_s, p95_s, rounds}}, ...}``.
+``benchmarks/check_regression.py`` reads the latest record's
+``benchmarks`` map, so the CI perf gate covers the API boundary with the
+same >N× mean-regression rule as the interactive suite.
+
+Usage::
+
+    python benchmarks/run_api_bench.py [--output BENCH_api.json] [--rounds 300]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = str(REPO_ROOT / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np  # noqa: E402
+
+from repro.api import (  # noqa: E402
+    Client,
+    ExplorationService,
+    ServerThread,
+    Show,
+    Wealth,
+    command_from_dict,
+    command_to_dict,
+)
+from repro.errors import InvalidParameterError  # noqa: E402
+from repro.exploration.predicate import And, Eq, Not, Range  # noqa: E402
+from repro.service.sweep import run_metadata  # noqa: E402
+from repro.workloads.census import make_census  # noqa: E402
+
+#: Rows of the census the service benchmarks explore.
+_BENCH_ROWS = 20_000
+
+
+def _measure(fn, rounds: int, warmup: int = 10) -> dict:
+    """Per-call latency stats for *fn* over *rounds* timed calls."""
+    for _ in range(warmup):
+        fn()
+    samples = np.empty(rounds, dtype=float)
+    for i in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples[i] = time.perf_counter() - start
+    return {
+        "mean_s": float(samples.mean()),
+        "p95_s": float(np.percentile(samples, 95)),
+        "stddev_s": float(samples.std()),
+        "rounds": rounds,
+    }
+
+
+def _representative_show(session_id: str) -> Show:
+    """A show with a realistically nested filter chain (3-op predicate)."""
+    where = And((
+        Eq("sex", "Female"),
+        Range("age", 25.0, 45.0),
+        Not(Eq("education", "HS")),
+    ))
+    return Show(session_id=session_id, attribute="occupation", where=where)
+
+
+def bench_protocol_roundtrip(rounds: int) -> dict:
+    """Codec only: command -> wire dict -> JSON -> wire dict -> command."""
+    command = _representative_show("s0001")
+
+    def roundtrip() -> None:
+        payload = json.dumps(command_to_dict(command))
+        command_from_dict(json.loads(payload))
+
+    return _measure(roundtrip, rounds)
+
+
+def bench_service_show(service: ExplorationService, rounds: int) -> dict:
+    """Full in-process dispatch: wire dict in, envelope dict out."""
+    sid = service.handle_dict(
+        {"v": 1, "cmd": "create_session", "dataset": "census"}
+    )["result"]["session_id"]
+    wire = command_to_dict(_representative_show(sid))
+
+    def show() -> None:
+        envelope = service.handle_dict(json.loads(json.dumps(wire)))
+        if not envelope["ok"]:
+            raise InvalidParameterError(f"bench show failed: {envelope['error']}")
+
+    stats = _measure(show, rounds)
+    service.handle_dict({"v": 1, "cmd": "close_session", "session_id": sid})
+    return stats
+
+
+def bench_http(service: ExplorationService, rounds: int) -> tuple[dict, dict]:
+    """(http_show, http_read) stats over a live localhost server."""
+    with ServerThread(service) as server:
+        with Client(port=server.port) as client:
+            sid = client.create_session("census")
+            show_cmd = _representative_show(sid)
+
+            show_stats = _measure(lambda: client.call(show_cmd), rounds)
+            read_stats = _measure(
+                lambda: client.call(Wealth(session_id=sid)), rounds
+            )
+            client.close_session(sid)
+    return show_stats, read_stats
+
+
+def append_record(path: Path, benchmarks: dict, rows: int) -> dict:
+    """Append one attributable record to the ``BENCH_api.json`` ledger."""
+    if path.exists():
+        payload = json.loads(path.read_text())
+        if payload.get("suite") != "api-bench" or not isinstance(
+            payload.get("records"), list
+        ):
+            raise InvalidParameterError(f"{path} is not an api-bench ledger")
+    else:
+        payload = {"suite": "api-bench", "records": []}
+    record = dict(run_metadata())
+    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    record["rows"] = rows
+    record["benchmarks"] = benchmarks
+    payload["records"].append(record)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_api.json",
+                        help="ledger path (default: repo root BENCH_api.json)")
+    parser.add_argument("--rounds", type=int, default=300,
+                        help="timed calls per benchmark (default 300)")
+    parser.add_argument("--rows", type=int, default=_BENCH_ROWS,
+                        help=f"census rows (default {_BENCH_ROWS})")
+    args = parser.parse_args(argv)
+
+    print(f"generating census ({args.rows} rows)...", flush=True)
+    census = make_census(args.rows, seed=0)
+    service = ExplorationService(max_sessions=None)
+    service.register_dataset(census, name="census")
+
+    print("benchmarking protocol codec...", flush=True)
+    benchmarks = {"protocol_roundtrip": bench_protocol_roundtrip(args.rounds)}
+    print("benchmarking in-process service dispatch...", flush=True)
+    benchmarks["service_show"] = bench_service_show(service, args.rounds)
+    print("benchmarking HTTP round trips...", flush=True)
+    http_show, http_read = bench_http(service, args.rounds)
+    benchmarks["http_show"] = http_show
+    benchmarks["http_read"] = http_read
+
+    record = append_record(args.output, benchmarks, args.rows)
+    print(f"appended record ({record['git_sha'][:12]}) to {args.output}")
+    for name, stats in sorted(benchmarks.items()):
+        per_s = 1.0 / stats["mean_s"] if stats["mean_s"] > 0 else float("inf")
+        print(f"  {name}: mean={stats['mean_s'] * 1e3:.3f} ms "
+              f"p95={stats['p95_s'] * 1e3:.3f} ms (~{per_s:,.0f}/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

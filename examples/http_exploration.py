@@ -1,0 +1,204 @@
+"""Drive a full exploration over HTTP and prove it matches in-process runs.
+
+Run with::
+
+    python examples/http_exploration.py
+
+This is the paper's deployment shape: a UI process (here: the blocking
+:class:`repro.api.Client`) talking to a control backend (``repro serve``)
+that mediates every adaptive query.  The script
+
+1. boots ``repro serve`` as a real subprocess on a free port,
+2. drives a census exploration through the client — show panels, a rule-3
+   negated-sibling comparison, a star, the step-F mean override, a delete,
+   an export — i.e. the full session lifecycle,
+3. replays the *same* verbs against an in-process
+   :class:`~repro.service.SessionManager` and asserts the two decision
+   logs are **byte-identical**: the transport is invisible in the
+   decisions, which is the service contract the property tests pin down,
+4. shows the structured error envelopes: a malformed request, an unknown
+   session, and the ``ADMISSION_REJECTED`` session-cap rejection.
+
+CI runs this exact script as its end-to-end API smoke job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.api import ApiError, Client  # noqa: E402
+from repro.exploration.predicate import Eq, Not  # noqa: E402
+from repro.service import SessionManager  # noqa: E402
+from repro.workloads.census import make_census  # noqa: E402
+
+ROWS, SEED = 5_000, 0
+
+
+def boot_server() -> tuple[subprocess.Popen, int]:
+    """Start ``repro serve`` on a free port; return (process, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--rows", str(ROWS), "--seed", str(SEED), "--max-sessions", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    deadline = time.monotonic() + 60
+    assert proc.stdout is not None
+    for line in proc.stdout:
+        print(f"  [server] {line.rstrip()}")
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+        if time.monotonic() > deadline:
+            break
+    proc.kill()
+    raise RuntimeError("server did not announce a port")
+
+
+def drive(verbs, sink) -> None:
+    """Apply the same verb sequence to an HTTP client or a local manager."""
+    for verb, args in verbs:
+        getattr(sink, verb)(*args)
+
+
+class ManagerAdapter:
+    """The in-process twin of the HTTP client: same verbs, same manager API."""
+
+    def __init__(self, manager: SessionManager, session_id: str) -> None:
+        self.manager = manager
+        self.sid = session_id
+
+    def show(self, attribute, where=None):
+        self.manager.show(self.sid, attribute, where=where)
+
+    def star(self, hypothesis_id):
+        self.manager.star(self.sid, hypothesis_id)
+
+    def override_with_means(self, hypothesis_id):
+        self.manager.override_with_means(self.sid, hypothesis_id)
+
+    def delete_hypothesis(self, hypothesis_id):
+        self.manager.delete_hypothesis(self.sid, hypothesis_id)
+
+
+class ClientAdapter:
+    """Binds a session id to the HTTP client so verbs line up."""
+
+    def __init__(self, client: Client, session_id: str) -> None:
+        self.client = client
+        self.sid = session_id
+
+    def show(self, attribute, where=None):
+        self.client.show(self.sid, attribute, where=where)
+
+    def star(self, hypothesis_id):
+        self.client.star(self.sid, hypothesis_id)
+
+    def override_with_means(self, hypothesis_id):
+        self.client.override_with_means(self.sid, hypothesis_id)
+
+    def delete_hypothesis(self, hypothesis_id):
+        self.client.delete_hypothesis(self.sid, hypothesis_id)
+
+
+#: The scripted exploration: rule-2 shows, a rule-3 negated-sibling pair
+#: (hypothesis 3 supersedes 2), a star, the step-F mean override of the
+#: rule-3 age comparison, and a delete — every revision verb exercised once.
+VERBS = [
+    ("show", ("education", Eq("sex", "Female"))),        # hyp 1, rule 2
+    ("show", ("age", Eq("sex", "Female"))),              # hyp 2, rule 2
+    ("show", ("age", Not(Eq("sex", "Female")))),         # hyp 3, rule 3
+    ("show", ("occupation", Eq("education", "PhD"))),    # hyp 4, rule 2
+    ("star", (1,)),
+    ("override_with_means", (3,)),                       # m4 -> m4'
+    ("delete_hypothesis", (4,)),
+    ("show", ("hours_per_week", Eq("marital_status", "Married"))),
+]
+
+
+def main() -> None:
+    print("=== 1. boot `repro serve` ===")
+    proc, port = boot_server()
+    try:
+        with Client(port=port) as client:
+            health = client.health()
+            print(f"  healthz: {health['result']}")
+
+            print("\n=== 2. drive the exploration over HTTP ===")
+            sid = client.create_session("census", procedure="epsilon-hybrid")
+            drive(VERBS, ClientAdapter(client, sid))
+            gauge = client.wealth(sid)
+            print(f"  tested {gauge['num_tested']} hypotheses, "
+                  f"{gauge['num_discoveries']} discoveries, "
+                  f"wealth {gauge['wealth']:.4f}")
+            http_log = client.decision_log_bytes(sid)
+            exported = client.export(sid)
+            print(f"  export: {len(exported['hypotheses'])} hypotheses "
+                  f"(schema v{exported['schema_version']})")
+
+            print("\n=== 3. replay the same verbs in-process ===")
+            manager = SessionManager()
+            manager.register_dataset(make_census(ROWS, seed=SEED), name="census")
+            local_sid = manager.create_session("census", procedure="epsilon-hybrid")
+            drive(VERBS, ManagerAdapter(manager, local_sid))
+            local_log = manager.decision_log_bytes(local_sid)
+            print(f"  HTTP log == in-process log: {http_log == local_log} "
+                  f"({len(local_log)} bytes)")
+            if http_log != local_log:
+                raise SystemExit("decision logs diverged — transport leaked "
+                                 "into decisions!")
+
+            print("\n=== 4. structured error envelopes ===")
+            # each case must *fail with the right code* — a silently
+            # succeeding call means the protection regressed, so the CI
+            # smoke exits non-zero.
+            try:
+                client.show("no-such-session", "education")
+            except ApiError as exc:
+                assert exc.code == "SESSION", exc
+                print(f"  unknown session  -> [{exc.code}] {exc.message}")
+            else:
+                raise SystemExit("unknown session was served!")
+            try:
+                client.call({"v": 99, "cmd": "show"})
+            except ApiError as exc:
+                assert exc.code == "PROTOCOL", exc
+                print(f"  bad version      -> [{exc.code}] {exc.message}")
+            else:
+                raise SystemExit("unsupported protocol version was accepted!")
+            second = client.create_session("census")
+            try:
+                client.create_session("census")  # cap is 2: sid + second
+            except ApiError as exc:
+                assert exc.code == "ADMISSION_REJECTED", exc
+                print(f"  admission control-> [{exc.code}] {exc.message} "
+                      f"{exc.details}")
+            else:
+                raise SystemExit("session cap was not enforced!")
+            client.close_session(second)
+            client.close_session(sid)
+            print("\nbyte-identical over the wire — the API mediates every "
+                  "adaptive query without touching a single decision")
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Versioned wire-protocol API: the boundary every adaptive query crosses.
+
+The package splits transport from protocol:
+
+* :mod:`repro.api.protocol` — typed commands, response/error envelopes,
+  and the lossless ``Predicate`` ⇄ JSON codec (the schema);
+* :mod:`repro.api.service` — :class:`ExplorationService`, the
+  ``handle(request) -> response`` dispatcher with admission control;
+* :mod:`repro.api.http` — the stdlib asyncio HTTP front end
+  (``repro serve``);
+* :mod:`repro.api.client` — the thin blocking :class:`Client` used by
+  examples, tests and benchmarks.
+"""
+
+from repro.api.client import ApiError, Client
+from repro.api.http import ApiHttpServer, ServerThread, serve_forever
+from repro.api.protocol import (
+    COMMANDS,
+    PROTOCOL_VERSION,
+    CloseSession,
+    Command,
+    CreateSession,
+    DecisionLog,
+    DeleteHypothesis,
+    ErrorInfo,
+    Export,
+    ListDatasets,
+    Override,
+    Response,
+    Show,
+    Star,
+    Stats,
+    Unstar,
+    Wealth,
+    command_from_dict,
+    command_to_dict,
+    predicate_from_dict,
+    predicate_to_dict,
+)
+from repro.api.service import DEFAULT_MAX_SESSIONS, ExplorationService
+
+__all__ = [
+    "ApiError",
+    "ApiHttpServer",
+    "Client",
+    "COMMANDS",
+    "CloseSession",
+    "Command",
+    "CreateSession",
+    "DEFAULT_MAX_SESSIONS",
+    "DecisionLog",
+    "DeleteHypothesis",
+    "ErrorInfo",
+    "ExplorationService",
+    "Export",
+    "ListDatasets",
+    "Override",
+    "PROTOCOL_VERSION",
+    "Response",
+    "ServerThread",
+    "Show",
+    "Star",
+    "Stats",
+    "Unstar",
+    "Wealth",
+    "command_from_dict",
+    "command_to_dict",
+    "predicate_from_dict",
+    "predicate_to_dict",
+    "serve_forever",
+]

@@ -1,0 +1,240 @@
+"""Thin blocking HTTP client for the v1 wire protocol.
+
+The client is the reference *consumer* of :mod:`repro.api.protocol`: every
+method builds a typed command, serializes it, POSTs it to ``/v1/command``
+and unwraps the envelope — raising :class:`ApiError` (which carries the
+stable error ``code`` and structured ``details``) on failure envelopes.
+It holds nothing but a host/port: no datasets, sessions or procedure
+objects ever exist client-side, exactly the boundary the paper's
+tablet-UI/backend split (and Hardt–Ullman) requires.
+
+Stdlib ``http.client`` over one keep-alive connection; reconnects
+transparently if the server closed it.  Blocking by design — analyst
+tooling (notebooks, the examples, the benchmark driver) is synchronous;
+concurrency lives server-side.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping
+
+from repro.errors import ProtocolError, ReproError
+from repro.exploration.predicate import Predicate
+from repro.api.protocol import (
+    PROTOCOL_VERSION,
+    READ_ONLY_COMMANDS,
+    CloseSession,
+    Command,
+    CreateSession,
+    DecisionLog,
+    DeleteHypothesis,
+    Export,
+    ListDatasets,
+    Override,
+    Response,
+    Show,
+    Star,
+    Stats,
+    Unstar,
+    Wealth,
+    command_to_dict,
+)
+
+__all__ = ["ApiError", "Client"]
+
+
+class ApiError(ReproError):
+    """A failure envelope, rehydrated client-side.
+
+    Attributes
+    ----------
+    code:
+        The stable wire code (``WEALTH_EXHAUSTED``, ``ADMISSION_REJECTED``,
+        ``SESSION``, ...) — match on this, not the message.
+    details:
+        The structured payload the server attached (e.g. the gauge state
+        for ``WEALTH_EXHAUSTED``).
+    status:
+        The HTTP status the envelope rode in on (0 for transport errors).
+    """
+
+    def __init__(self, code: str, message: str,
+                 details: Mapping[str, Any] | None = None, status: int = 0) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.details = dict(details or {})
+        self.status = status
+
+
+class Client:
+    """Blocking client for one ``repro serve`` endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- transport -----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Close the underlying connection (safe to call twice)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _post(self, payload: dict) -> tuple[int, dict]:
+        body = json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        # A stale keep-alive connection is only retried for read-only
+        # verbs: a mutating command (show/star/override/...) may already
+        # have executed server-side before the connection died, and a
+        # blind resend would spend alpha-wealth twice for one user action.
+        retriable = payload.get("cmd") in READ_ONLY_COMMANDS
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request("POST", "/v1/command", body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                return response.status, json.loads(raw.decode("utf-8"))
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt or not retriable:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def call(self, command: Command | Mapping[str, Any]) -> dict:
+        """Send one command; return the ``result`` dict or raise ApiError."""
+        payload = (
+            command_to_dict(command) if isinstance(command, Command)
+            else dict(command)
+        )
+        status, envelope = self._post(payload)
+        response = Response.from_dict(envelope)
+        if not response.ok:
+            err = response.error
+            if err is None:  # pragma: no cover - server always fills this
+                raise ApiError("INTERNAL", "empty error envelope", status=status)
+            raise ApiError(err.code, err.message, err.details, status=status)
+        if response.v != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"server speaks protocol v{response.v}, "
+                f"client speaks v{PROTOCOL_VERSION}"
+            )
+        return dict(response.result or {})
+
+    # -- session lifecycle ---------------------------------------------------
+
+    def create_session(
+        self,
+        dataset: str,
+        procedure: str = "epsilon-hybrid",
+        alpha: float = 0.05,
+        bins: int = 10,
+        session_id: str | None = None,
+        **procedure_kwargs,
+    ) -> str:
+        """Open a session; returns its id."""
+        result = self.call(CreateSession(
+            dataset=dataset, procedure=procedure, alpha=alpha, bins=bins,
+            session_id=session_id, procedure_kwargs=procedure_kwargs,
+        ))
+        return result["session_id"]
+
+    def show(
+        self,
+        session_id: str,
+        attribute: str,
+        where: Predicate | None = None,
+        bins: int | None = None,
+        descriptive: bool = False,
+    ) -> dict:
+        """Show a panel; returns the view payload (histogram + hypothesis)."""
+        return self.call(Show(
+            session_id=session_id, attribute=attribute, where=where,
+            bins=bins, descriptive=descriptive,
+        ))
+
+    def star(self, session_id: str, hypothesis_id: int) -> dict:
+        """Bookmark a discovery; returns the updated hypothesis."""
+        return self.call(Star(session_id=session_id,
+                              hypothesis_id=hypothesis_id))["hypothesis"]
+
+    def unstar(self, session_id: str, hypothesis_id: int) -> dict:
+        """Remove a bookmark; returns the updated hypothesis."""
+        return self.call(Unstar(session_id=session_id,
+                                hypothesis_id=hypothesis_id))["hypothesis"]
+
+    def override_with_means(self, session_id: str, hypothesis_id: int) -> dict:
+        """Step-F override (m4 → m4'); returns the revision report."""
+        return self.call(Override(session_id=session_id,
+                                  hypothesis_id=hypothesis_id))
+
+    def delete_hypothesis(self, session_id: str, hypothesis_id: int) -> dict:
+        """Delete a hypothesis from the stream; returns the revision report."""
+        return self.call(DeleteHypothesis(session_id=session_id,
+                                          hypothesis_id=hypothesis_id))
+
+    def close_session(self, session_id: str) -> None:
+        """Close and forget a session."""
+        self.call(CloseSession(session_id=session_id))
+
+    # -- reads ---------------------------------------------------------------
+
+    def wealth(self, session_id: str) -> dict:
+        """The session's gauge summary (wealth, tested, discoveries, ...)."""
+        return self.call(Wealth(session_id=session_id))
+
+    def decision_log(self, session_id: str) -> list[dict]:
+        """The session's decision log records, in dispatch order."""
+        return self.call(DecisionLog(session_id=session_id))["records"]
+
+    def decision_log_bytes(self, session_id: str) -> bytes:
+        """Canonical serialized log — byte-comparable with
+        :meth:`repro.service.SessionManager.decision_log_bytes`."""
+        records = self.decision_log(session_id)
+        return json.dumps(records, sort_keys=True).encode()
+
+    def export(self, session_id: str) -> dict:
+        """The canonical session snapshot (``session_to_dict`` shape)."""
+        return self.call(Export(session_id=session_id))
+
+    def list_datasets(self) -> list[dict]:
+        """Datasets registered on the server."""
+        return self.call(ListDatasets())["datasets"]
+
+    def stats(self, session_id: str | None = None) -> dict:
+        """Service-wide (or one session's) counters."""
+        return self.call(Stats(session_id=session_id))
+
+    def health(self) -> dict:
+        """GET /healthz (transport-level liveness, not a protocol command)."""
+        conn = self._connection()
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            return json.loads(response.read().decode("utf-8"))
+        except (ConnectionError, http.client.HTTPException, OSError):
+            self.close()
+            raise
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Client(http://{self.host}:{self.port}, v{PROTOCOL_VERSION})"

@@ -1,0 +1,323 @@
+"""Stdlib-only asyncio HTTP front end for the wire protocol.
+
+One route does the work: ``POST /v1/command`` takes a protocol request
+body (see :mod:`repro.api.protocol`) and returns its response envelope.
+``GET /healthz`` serves liveness probes.  There is deliberately no REST
+resource modelling — the protocol is the API, HTTP is just the transport,
+and the same envelopes flow unchanged through in-process ``handle()``
+calls (which is what the serial-vs-HTTP byte-equivalence tests rely on).
+
+Implementation notes:
+
+* pure stdlib (``asyncio.start_server`` + hand-rolled HTTP/1.1 parsing):
+  the container bakes in numpy/scipy but no web framework, and the
+  protocol needs nothing fancier than Content-Length bodies;
+* requests run on the default executor, not the event loop —
+  ``ExplorationService.handle`` takes per-session locks and computes
+  histograms, so the loop must stay free to accept other analysts (the
+  many-concurrent-analysts regime is the whole point of the service);
+* keep-alive is honoured with one in-flight request per connection:
+  requests on a connection are read and answered strictly in sequence
+  (a client that pipelines simply has later requests buffered until the
+  earlier response is written, so envelope order can never be corrupted);
+* HTTP status mirrors the envelope (200 ok, 4xx/5xx per error code via
+  :data:`STATUS_FOR_CODE`) but the envelope is authoritative — clients
+  should parse the body, not the status line.
+
+``ServerThread`` runs the server on a daemon thread for tests, examples
+and benchmarks; ``repro serve`` (see :mod:`repro.cli`) runs it in the
+foreground.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.api.protocol import PROTOCOL_VERSION, Response
+from repro.api.service import ExplorationService
+
+__all__ = ["ApiHttpServer", "ServerThread", "STATUS_FOR_CODE", "serve_forever"]
+
+#: Envelope error code -> HTTP status.  Anything unlisted is a 400.
+STATUS_FOR_CODE = {
+    "ADMISSION_REJECTED": 429,
+    "WEALTH_EXHAUSTED": 409,
+    "SESSION": 404,
+    "UNKNOWN_PROCEDURE": 404,
+    "INTERNAL": 500,
+}
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error"}
+
+#: Request bodies above this are refused (413) before buffering completes.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ApiHttpServer:
+    """Asyncio HTTP server speaking the v1 wire protocol.
+
+    Parameters
+    ----------
+    service:
+        The dispatcher to expose.
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        service: ExplorationService,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        # port=0 means "pick one"; surface the choice.
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            self.port = sock.getsockname()[1]
+            break
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening sockets."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    break
+                method, path, version, headers, body = request
+                status, payload = await self._route(method, path, body)
+                # RFC 7230: connection options are case-insensitive, and
+                # HTTP/1.0 defaults to close unless keep-alive is asked for.
+                connection = headers.get("connection", "").lower()
+                if version == "HTTP/1.0":
+                    keep_alive = connection == "keep-alive"
+                else:
+                    keep_alive = connection != "close"
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _read_request(self, reader, writer):
+        """Parse one HTTP/1.1 request; None on clean EOF or fatal framing."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean close between requests
+            raise
+        except asyncio.LimitOverrunError:
+            await self._write_response(
+                writer, 400, _protocol_error("request head too large"), False
+            )
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, path, version = lines[0].split(" ", 2)
+        except ValueError:
+            await self._write_response(
+                writer, 400, _protocol_error("malformed request line"), False
+            )
+            return None
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            await self._write_response(
+                writer, 400, _protocol_error("bad Content-Length"), False
+            )
+            return None
+        if length > MAX_BODY_BYTES:
+            await self._write_response(
+                writer, 413,
+                _protocol_error(f"body exceeds {MAX_BODY_BYTES} bytes"), False
+            )
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, version.strip().upper(), headers, body
+
+    async def _route(self, method: str, path: str, body: bytes):
+        """Dispatch one request; returns (status, envelope dict)."""
+        if path == "/healthz":
+            if method != "GET":
+                return 405, _protocol_error("healthz is GET-only")
+            return 200, {
+                "v": PROTOCOL_VERSION,
+                "ok": True,
+                "result": {
+                    "status": "healthy",
+                    "sessions": len(self.service.manager.session_ids()),
+                    "datasets": list(self.service.manager.dataset_names()),
+                },
+            }
+        if path != "/v1/command":
+            return 404, _protocol_error(f"no route {path!r}; POST /v1/command")
+        if method != "POST":
+            return 405, _protocol_error("/v1/command is POST-only")
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, _protocol_error(f"body is not valid JSON: {exc}")
+        # handle() takes session locks and computes histograms: run it off
+        # the event loop so slow panels never stall other analysts.
+        loop = asyncio.get_running_loop()
+        envelope = await loop.run_in_executor(
+            None, self.service.handle_dict, request
+        )
+        return _status_for(envelope), envelope
+
+    async def _write_response(
+        self, writer, status: int, payload: dict, keep_alive: bool
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+def _status_for(envelope: dict) -> int:
+    if envelope.get("ok"):
+        return 200
+    code = (envelope.get("error") or {}).get("code", "INTERNAL")
+    return STATUS_FOR_CODE.get(code, 400)
+
+
+def _protocol_error(message: str) -> dict:
+    """An HTTP-layer failure still speaks the protocol's envelope shape."""
+    return Response.failure("PROTOCOL", message).to_dict()
+
+
+class ServerThread:
+    """Run an :class:`ApiHttpServer` on a daemon thread (tests/benchmarks).
+
+    Usage::
+
+        with ServerThread(service) as server:
+            client = Client(port=server.port)
+            ...
+    """
+
+    def __init__(
+        self,
+        service: ExplorationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.server = ApiHttpServer(service, host=host, port=port)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-api-http", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("HTTP server failed to start within 10 s")
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+            self._started.set()
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            self._loop = None
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_forever(
+    service: ExplorationService, host: str = "127.0.0.1", port: int = 8765,
+    announce=print,
+) -> None:
+    """Blocking convenience used by ``repro serve``: serve until Ctrl-C."""
+    server = ApiHttpServer(service, host=host, port=port)
+
+    async def _main() -> None:
+        await server.start()
+        announce(
+            f"repro API v{PROTOCOL_VERSION} serving on "
+            f"http://{server.host}:{server.port} (POST /v1/command; Ctrl-C stops)"
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        announce("shutting down")

@@ -1,0 +1,555 @@
+"""Versioned wire protocol: typed commands, responses and error envelopes.
+
+The paper's system is a *service*: a tablet UI issuing show/star/revise
+commands against a control backend (Sec. 3), and Hardt & Ullman's hardness
+result is why that boundary must mediate **every** adaptive query — clients
+never touch data or live engine objects directly.  This module is the
+transport-agnostic half of that boundary:
+
+* one frozen dataclass per session-lifecycle verb (:class:`CreateSession`,
+  :class:`Show`, :class:`Star`, ... :class:`Stats`), each carrying a ``v``
+  protocol-version field;
+* a lossless ``Predicate`` ⇄ JSON codec (:func:`predicate_to_dict` /
+  :func:`predicate_from_dict`) covering the full algebra
+  (``Eq``/``In``/``Range``/``And``/``Or``/``Not``/``TRUE``), so filters
+  cross the wire as plain data and re-evaluate to byte-identical masks;
+* a stable error-envelope vocabulary: every :class:`~repro.errors.ReproError`
+  subclass maps to a fixed ``code`` string (:data:`ERROR_CODES`) — raw
+  tracebacks never go over the wire.
+
+Wire format (JSON)::
+
+    request:  {"v": 1, "cmd": "show", "session_id": "s0001",
+               "attribute": "salary", "where": {"op": "eq", ...}}
+    success:  {"v": 1, "ok": true, "result": {...}}
+    failure:  {"v": 1, "ok": false,
+               "error": {"code": "WEALTH_EXHAUSTED", "message": "...",
+                         "details": {...}}}
+
+Version negotiation is strict: a request without ``v``, or with a version
+this build does not speak, is rejected with ``PROTOCOL`` before any
+dispatch happens — version skew fails loudly, never silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import (
+    AdmissionRejectedError,
+    InsufficientDataError,
+    InvalidParameterError,
+    PredicateError,
+    ProcedureStateError,
+    ProtocolError,
+    ReproError,
+    SchemaError,
+    SessionError,
+    UnknownProcedureError,
+    WealthExhaustedError,
+)
+from repro.exploration.predicate import (
+    TRUE,
+    And,
+    Eq,
+    In,
+    Not,
+    Or,
+    Predicate,
+    Range,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "Command",
+    "CreateSession",
+    "Show",
+    "Star",
+    "Unstar",
+    "Override",
+    "DeleteHypothesis",
+    "Wealth",
+    "DecisionLog",
+    "Export",
+    "CloseSession",
+    "ListDatasets",
+    "Stats",
+    "COMMANDS",
+    "ErrorInfo",
+    "Response",
+    "predicate_to_dict",
+    "predicate_from_dict",
+    "command_to_dict",
+    "command_from_dict",
+    "error_code_for",
+    "jsonable",
+    "READ_ONLY_COMMANDS",
+]
+
+#: The protocol version this build speaks.  Bump on any breaking change to
+#: a command's fields, a response payload, or the predicate codec.
+PROTOCOL_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# Error envelope vocabulary
+# ---------------------------------------------------------------------------
+
+#: Exception type -> stable wire code.  Ordered most-specific-first; the
+#: lookup walks this list with ``isinstance`` so subclasses added later
+#: still map to their nearest ancestor's code instead of crashing encoding.
+ERROR_CODES: tuple[tuple[type, str], ...] = (
+    (AdmissionRejectedError, "ADMISSION_REJECTED"),
+    (WealthExhaustedError, "WEALTH_EXHAUSTED"),
+    (ProtocolError, "PROTOCOL"),
+    (UnknownProcedureError, "UNKNOWN_PROCEDURE"),
+    (ProcedureStateError, "PROCEDURE_STATE"),
+    (InsufficientDataError, "INSUFFICIENT_DATA"),
+    (PredicateError, "PREDICATE"),
+    (SchemaError, "SCHEMA"),
+    (SessionError, "SESSION"),
+    (InvalidParameterError, "INVALID_PARAMETER"),
+    (ReproError, "REPRO_ERROR"),
+)
+
+
+def error_code_for(exc: BaseException) -> str:
+    """The stable wire code for *exc* (``INTERNAL`` for non-library errors)."""
+    for exc_type, code in ERROR_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return "INTERNAL"
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """Structured error payload of a failure envelope."""
+
+    code: str
+    message: str
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "message": self.message,
+                "details": dict(self.details)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ErrorInfo":
+        return cls(
+            code=str(payload.get("code", "INTERNAL")),
+            message=str(payload.get("message", "")),
+            details=dict(payload.get("details") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class Response:
+    """One wire response: either a result or an error envelope, never both."""
+
+    ok: bool
+    result: Mapping[str, Any] | None = None
+    error: ErrorInfo | None = None
+    v: int = PROTOCOL_VERSION
+
+    @classmethod
+    def success(cls, result: Mapping[str, Any]) -> "Response":
+        return cls(ok=True, result=dict(result))
+
+    @classmethod
+    def failure(
+        cls, code: str, message: str, details: Mapping[str, Any] | None = None
+    ) -> "Response":
+        return cls(ok=False, error=ErrorInfo(code, message, dict(details or {})))
+
+    @classmethod
+    def from_exception(
+        cls, exc: BaseException, details: Mapping[str, Any] | None = None
+    ) -> "Response":
+        """Map an exception to its envelope.  Library errors keep their
+        message (they are user-actionable and contain no state); anything
+        else is reported as an opaque ``INTERNAL`` — tracebacks and
+        arbitrary ``repr`` never leave the process."""
+        code = error_code_for(exc)
+        if code == "INTERNAL":
+            message = f"internal error ({type(exc).__name__})"
+        elif len(exc.args) >= 2:
+            # Library errors may carry (message, details-dict); the dict is
+            # surfaced via *details*, not str()'d into the message.
+            message = str(exc.args[0])
+        else:
+            message = str(exc)
+        return cls(ok=False, error=ErrorInfo(code, message, dict(details or {})))
+
+    def to_dict(self) -> dict:
+        payload: dict[str, Any] = {"v": self.v, "ok": self.ok}
+        if self.ok:
+            payload["result"] = dict(self.result or {})
+        else:
+            err = self.error or ErrorInfo("INTERNAL", "missing error info")
+            payload["error"] = err.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Response":
+        if not isinstance(payload, Mapping):
+            raise ProtocolError("response payload must be a JSON object")
+        ok = bool(payload.get("ok"))
+        v = int(payload.get("v", PROTOCOL_VERSION))
+        if ok:
+            return cls(ok=True, result=dict(payload.get("result") or {}), v=v)
+        return cls(
+            ok=False, error=ErrorInfo.from_dict(payload.get("error") or {}), v=v
+        )
+
+
+# ---------------------------------------------------------------------------
+# Predicate codec
+# ---------------------------------------------------------------------------
+
+
+def _encode_bound(value: float) -> float | str:
+    """JSON-safe numeric bound: ``±inf`` as strings (strict-JSON friendly)."""
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return float(value)
+
+
+def _decode_bound(value: Any) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ProtocolError(f"bad numeric bound in predicate: {value!r}") from None
+
+
+def predicate_to_dict(pred: Predicate) -> dict:
+    """Lossless JSON form of a predicate tree.
+
+    The codec covers the whole algebra; round-tripping through
+    :func:`predicate_from_dict` yields a ``normalize()``-equivalent
+    predicate whose masks are byte-identical on any dataset (property-
+    tested in ``tests/property/test_property_predicate_json.py``).
+    """
+    if isinstance(pred, Eq):
+        return {"op": "eq", "column": pred.column, "value": jsonable(pred.value)}
+    if isinstance(pred, In):
+        return {"op": "in", "column": pred.column,
+                "values": [jsonable(v) for v in pred.values]}
+    if isinstance(pred, Range):
+        return {"op": "range", "column": pred.column,
+                "lo": _encode_bound(pred.lo), "hi": _encode_bound(pred.hi)}
+    if isinstance(pred, Not):
+        return {"op": "not", "operand": predicate_to_dict(pred.operand)}
+    if isinstance(pred, And):
+        return {"op": "and",
+                "operands": [predicate_to_dict(p) for p in pred.operands]}
+    if isinstance(pred, Or):
+        return {"op": "or",
+                "operands": [predicate_to_dict(p) for p in pred.operands]}
+    if pred.is_trivial():
+        return {"op": "true"}
+    raise ProtocolError(f"predicate type {type(pred).__name__} has no wire form")
+
+
+def predicate_from_dict(payload: Mapping[str, Any]) -> Predicate:
+    """Rebuild a predicate from its :func:`predicate_to_dict` form."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("predicate payload must be a JSON object")
+    op = payload.get("op")
+    try:
+        if op == "true":
+            return TRUE
+        if op == "eq":
+            return Eq(str(payload["column"]), payload["value"])
+        if op == "in":
+            values = payload["values"]
+            if not isinstance(values, (list, tuple)):
+                raise ProtocolError("'in' predicate needs a list of values")
+            return In(str(payload["column"]), tuple(values))
+        if op == "range":
+            return Range(
+                str(payload["column"]),
+                _decode_bound(payload["lo"]),
+                _decode_bound(payload["hi"]),
+            )
+        if op == "not":
+            return Not(predicate_from_dict(payload["operand"]))
+        if op in ("and", "or"):
+            operands = payload.get("operands")
+            if not isinstance(operands, (list, tuple)):
+                raise ProtocolError(f"{op!r} predicate needs a list of operands")
+            cls = And if op == "and" else Or
+            return cls(tuple(predicate_from_dict(p) for p in operands))
+    except KeyError as exc:
+        raise ProtocolError(f"predicate {op!r} is missing field {exc}") from None
+    raise ProtocolError(f"unknown predicate op {op!r}")
+
+
+def jsonable(value: Any) -> Any:
+    """Collapse numpy scalars to native Python so ``json.dumps`` round-trips."""
+    item = getattr(value, "item", None)
+    if item is not None and not isinstance(value, (str, bytes, int, float, bool)):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            return value
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class for every wire command.
+
+    Subclasses are frozen dataclasses whose fields *are* the wire schema;
+    ``cmd`` (class attribute) names the verb on the wire and ``v`` carries
+    the protocol version.
+    """
+
+    #: Wire verb; subclasses override.
+    cmd = "command"
+
+    v: int = field(default=PROTOCOL_VERSION, kw_only=True)
+
+
+@dataclass(frozen=True)
+class CreateSession(Command):
+    """Open a new exploration session over a registered dataset."""
+
+    cmd = "create_session"
+
+    dataset: str
+    procedure: str = "epsilon-hybrid"
+    alpha: float = 0.05
+    bins: int = 10
+    session_id: str | None = None
+    procedure_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Show(Command):
+    """Show one histogram panel (the paper's core gesture)."""
+
+    cmd = "show"
+
+    session_id: str
+    attribute: str
+    where: Predicate | None = None
+    bins: int | None = None
+    descriptive: bool = False
+
+
+@dataclass(frozen=True)
+class Star(Command):
+    """Bookmark a hypothesis as an important discovery (Theorem 1)."""
+
+    cmd = "star"
+
+    session_id: str
+    hypothesis_id: int
+
+
+@dataclass(frozen=True)
+class Unstar(Command):
+    """Remove a bookmark."""
+
+    cmd = "unstar"
+
+    session_id: str
+    hypothesis_id: int
+
+
+@dataclass(frozen=True)
+class Override(Command):
+    """The step-F override: replace a two-panel distribution comparison
+    with a mean t-test and replay the stream (m4 → m4')."""
+
+    cmd = "override"
+
+    session_id: str
+    hypothesis_id: int
+
+
+@dataclass(frozen=True)
+class DeleteHypothesis(Command):
+    """Delete a hypothesis ("it was just descriptive") and replay."""
+
+    cmd = "delete_hypothesis"
+
+    session_id: str
+    hypothesis_id: int
+
+
+@dataclass(frozen=True)
+class Wealth(Command):
+    """Read a session's α-wealth gauge state."""
+
+    cmd = "wealth"
+
+    session_id: str
+
+
+@dataclass(frozen=True)
+class DecisionLog(Command):
+    """Read a session's decision log (the audit trail)."""
+
+    cmd = "decision_log"
+
+    session_id: str
+
+
+@dataclass(frozen=True)
+class Export(Command):
+    """Export the canonical session snapshot (same shape as
+    :func:`repro.exploration.export.session_to_dict`)."""
+
+    cmd = "export"
+
+    session_id: str
+
+
+@dataclass(frozen=True)
+class CloseSession(Command):
+    """Close and forget a session."""
+
+    cmd = "close_session"
+
+    session_id: str
+
+
+@dataclass(frozen=True)
+class ListDatasets(Command):
+    """Enumerate registered datasets."""
+
+    cmd = "list_datasets"
+
+
+@dataclass(frozen=True)
+class Stats(Command):
+    """Service-wide counters, or one session's counters."""
+
+    cmd = "stats"
+
+    session_id: str | None = None
+
+
+#: Wire verb -> command class.
+COMMANDS: dict[str, type[Command]] = {
+    cls.cmd: cls
+    for cls in (
+        CreateSession, Show, Star, Unstar, Override, DeleteHypothesis,
+        Wealth, DecisionLog, Export, CloseSession, ListDatasets, Stats,
+    )
+}
+
+#: Verbs that never mutate session state.  Transport layers may safely
+#: retry these after a connection failure; everything else might already
+#: have executed server-side (spending alpha-wealth), so a blind resend
+#: could double-apply a user action.
+READ_ONLY_COMMANDS: frozenset[str] = frozenset(
+    {"wealth", "decision_log", "export", "list_datasets", "stats"}
+)
+
+
+def command_to_dict(command: Command) -> dict:
+    """Flat wire form of a command: ``{"v": ..., "cmd": ..., <fields>}``."""
+    if type(command) not in COMMANDS.values():
+        raise ProtocolError(f"{type(command).__name__} is not a wire command")
+    payload: dict[str, Any] = {"v": command.v, "cmd": command.cmd}
+    for f in dataclasses.fields(command):
+        if f.name == "v":
+            continue
+        value = getattr(command, f.name)
+        if isinstance(value, Predicate):
+            value = predicate_to_dict(value)
+        elif f.name == "procedure_kwargs":
+            value = dict(value)
+        payload[f.name] = value
+    return payload
+
+
+#: Wire-field type contracts: field -> (accepted JSON types, allow null).
+#: ``where`` is absent because the predicate codec validates it itself.
+_FIELD_TYPES: dict[str, tuple[tuple[type, ...], bool]] = {
+    "dataset": ((str,), False),
+    "session_id": ((str,), True),   # null only where the schema defaults it
+    "attribute": ((str,), False),
+    "hypothesis_id": ((int,), False),
+    "procedure": ((str,), False),
+    "alpha": ((int, float), False),
+    "bins": ((int,), True),
+    "descriptive": ((bool,), False),
+    "procedure_kwargs": ((Mapping,), False),
+}
+
+
+def _check_field_type(verb: str, key: str, value: Any) -> None:
+    spec = _FIELD_TYPES.get(key)
+    if spec is None:
+        return
+    types, allow_none = spec
+    if value is None:
+        if allow_none:
+            return
+        raise ProtocolError(f"command {verb!r}: field {key!r} must not be null")
+    # bool is a subclass of int: a JSON true must not pass as an id/count.
+    if not isinstance(value, types) or (
+        isinstance(value, bool) and bool not in types
+    ):
+        names = "/".join(t.__name__ for t in types)
+        raise ProtocolError(
+            f"command {verb!r}: field {key!r} must be {names}, "
+            f"got {type(value).__name__}"
+        )
+
+
+def command_from_dict(payload: Mapping[str, Any]) -> Command:
+    """Parse and validate one wire request into a typed command.
+
+    Strict on three axes: the version must be one this build speaks, the
+    verb must be known, and the fields must exactly fit the command's
+    schema (unknown fields are rejected — silent drift between client and
+    server versions is the failure mode this protocol exists to prevent).
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("request must be a JSON object")
+    if "v" not in payload:
+        raise ProtocolError("request is missing the protocol version field 'v'")
+    try:
+        version = int(payload["v"])
+    except (TypeError, ValueError):
+        raise ProtocolError(f"bad protocol version: {payload['v']!r}") from None
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version}; "
+            f"this build speaks v{PROTOCOL_VERSION}"
+        )
+    verb = payload.get("cmd")
+    if not isinstance(verb, str):
+        raise ProtocolError(f"'cmd' must be a string, got {type(verb).__name__}")
+    cls = COMMANDS.get(verb)
+    if cls is None:
+        raise ProtocolError(
+            f"unknown command {verb!r}; known: {sorted(COMMANDS)}"
+        )
+    known = {f.name for f in dataclasses.fields(cls)}
+    kwargs: dict[str, Any] = {}
+    for key, value in payload.items():
+        if key in ("v", "cmd"):
+            continue
+        if key not in known:
+            raise ProtocolError(f"command {verb!r} has no field {key!r}")
+        _check_field_type(verb, key, value)
+        if key == "where" and value is not None:
+            value = predicate_from_dict(value)
+        kwargs[key] = value
+    try:
+        return cls(v=version, **kwargs)
+    except TypeError as exc:
+        raise ProtocolError(f"command {verb!r}: {exc}") from None

@@ -1,0 +1,336 @@
+"""The protocol dispatcher: every adaptive query goes through ``handle()``.
+
+:class:`ExplorationService` wraps a :class:`~repro.service.SessionManager`
+behind the wire protocol of :mod:`repro.api.protocol`.  It is the single
+choke point the Hardt–Ullman argument requires — clients hold session ids
+and JSON, never datasets, sessions, or procedure objects — and it is
+transport-agnostic: the asyncio HTTP front end (:mod:`repro.api.http`)
+and in-process callers (tests, benchmarks) share this exact code path,
+which is what makes the serial-vs-HTTP decision-log byte-equivalence test
+meaningful.
+
+Two admission-control rules live here, not in the statistics layer:
+
+* **Session cap** — ``create_session`` beyond ``max_sessions`` concurrent
+  sessions returns an ``ADMISSION_REJECTED`` envelope (with the cap and
+  current occupancy in ``details``) instead of registering without bound.
+* **Wealth exhaustion** — a hypothesis-generating ``show`` against a
+  session whose α-wealth is exhausted returns a ``WEALTH_EXHAUSTED``
+  envelope carrying the gauge state (Sec. 5.8: "the user should stop
+  exploring"); ``descriptive=True`` panels spend no wealth and are still
+  served, as are reads (wealth/log/export/stats) and revisions.
+
+Every :class:`~repro.errors.ReproError` raised below this boundary maps to
+a stable error code; unexpected exceptions become an opaque ``INTERNAL``
+envelope.  Raw tracebacks never cross the wire.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Callable, Mapping
+
+from repro.errors import (
+    AdmissionRejectedError,
+    InvalidParameterError,
+    ProtocolError,
+    ReproError,
+)
+from repro.exploration.export import clean_float, hypothesis_to_dict
+from repro.exploration.session import ViewResult
+from repro.service.manager import SessionManager
+from repro.api.protocol import (
+    PROTOCOL_VERSION,
+    CloseSession,
+    Command,
+    CreateSession,
+    DecisionLog,
+    DeleteHypothesis,
+    Export,
+    ListDatasets,
+    Override,
+    Response,
+    Show,
+    Star,
+    Stats,
+    Unstar,
+    Wealth,
+    command_from_dict,
+    jsonable,
+    predicate_to_dict,
+)
+
+__all__ = ["ExplorationService", "DEFAULT_MAX_SESSIONS"]
+
+#: Default per-service cap on concurrently open sessions.
+DEFAULT_MAX_SESSIONS = 256
+
+
+class ExplorationService:
+    """`handle(request) -> response`: the whole public surface in one call.
+
+    Parameters
+    ----------
+    manager:
+        The session registry/dispatcher to serve.  A fresh one is created
+        when omitted; register datasets via :meth:`register_dataset`.
+    max_sessions:
+        Admission-control cap on concurrently open sessions (``None``
+        disables the cap — benchmarks only, never production).
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager | None = None,
+        max_sessions: int | None = DEFAULT_MAX_SESSIONS,
+    ) -> None:
+        if max_sessions is not None and max_sessions < 1:
+            raise InvalidParameterError(
+                f"max_sessions must be >= 1 or None, got {max_sessions}"
+            )
+        self.manager = manager if manager is not None else SessionManager()
+        self.max_sessions = max_sessions
+        # create_session admission check + create must be atomic or two
+        # racing creates could both pass the cap probe.
+        self._admission_lock = threading.Lock()
+        self._handlers: dict[type, Callable[[Any], dict]] = {
+            CreateSession: self._create_session,
+            Show: self._show,
+            Star: self._star,
+            Unstar: self._unstar,
+            Override: self._override,
+            DeleteHypothesis: self._delete_hypothesis,
+            Wealth: self._wealth,
+            DecisionLog: self._decision_log,
+            Export: self._export,
+            CloseSession: self._close_session,
+            ListDatasets: self._list_datasets,
+            Stats: self._stats,
+        }
+
+    # -- dataset registry passthrough ---------------------------------------
+
+    def register_dataset(self, dataset, name: str | None = None) -> str:
+        """Register a dataset for sessions to explore (server-side only —
+        datasets never cross the wire)."""
+        return self.manager.register_dataset(dataset, name=name)
+
+    # -- the dispatcher ------------------------------------------------------
+
+    def handle(self, request: Command | Mapping[str, Any]) -> Response:
+        """Execute one command and return its response envelope.
+
+        Accepts a typed :class:`Command` or its raw wire ``dict``.  Never
+        raises for request-shaped problems: protocol violations, library
+        errors and internal failures all come back as error envelopes.
+        """
+        try:
+            if isinstance(request, Command):
+                command = request
+                if command.v != PROTOCOL_VERSION:
+                    raise ProtocolError(
+                        f"unsupported protocol version {command.v}; "
+                        f"this build speaks v{PROTOCOL_VERSION}"
+                    )
+            else:
+                command = command_from_dict(request)
+        except ReproError as exc:
+            return Response.from_exception(exc)
+        handler = self._handlers.get(type(command))
+        if handler is None:  # a Command subclass not wired into the table
+            return Response.failure(
+                "PROTOCOL", f"command {type(command).__name__} is not dispatchable"
+            )
+        try:
+            return Response.success(handler(command))
+        except ReproError as exc:
+            return Response.from_exception(exc, details=_error_details(exc))
+        except Exception as exc:  # noqa: BLE001 - boundary: no tracebacks on the wire
+            return Response.from_exception(exc)
+
+    def handle_dict(self, request: Mapping[str, Any]) -> dict:
+        """Wire-level convenience: dict in, envelope dict out."""
+        return self.handle(request).to_dict()
+
+    # -- verb implementations ------------------------------------------------
+
+    def _create_session(self, cmd: CreateSession) -> dict:
+        with self._admission_lock:
+            if self.max_sessions is not None:
+                active = len(self.manager.session_ids())
+                if active >= self.max_sessions:
+                    raise AdmissionRejectedError(
+                        f"session cap reached ({active}/{self.max_sessions}); "
+                        "close a session before opening another",
+                        {"active_sessions": active,
+                         "max_sessions": self.max_sessions},
+                    )
+            sid = self.manager.create_session(
+                cmd.dataset,
+                procedure=cmd.procedure,
+                alpha=cmd.alpha,
+                bins=cmd.bins,
+                session_id=cmd.session_id,
+                **dict(cmd.procedure_kwargs),
+            )
+        return {"session_id": sid, "dataset": cmd.dataset,
+                "procedure": cmd.procedure, "alpha": cmd.alpha}
+
+    def _show(self, cmd: Show) -> dict:
+        # Wealth admission control (Sec. 5.8) happens *inside* the
+        # session lock — see SessionManager.show(reject_exhausted=True) —
+        # so concurrent shows cannot race past the exhaustion check.
+        result = self.manager.show(
+            cmd.session_id,
+            cmd.attribute,
+            where=cmd.where,
+            bins=cmd.bins,
+            descriptive=cmd.descriptive,
+            reject_exhausted=True,
+        )
+        return self._view_result_to_dict(cmd.session_id, result)
+
+    def _star(self, cmd: Star) -> dict:
+        hyp = self.manager.star(cmd.session_id, cmd.hypothesis_id)
+        return {"hypothesis": hypothesis_to_dict(hyp)}
+
+    def _unstar(self, cmd: Unstar) -> dict:
+        hyp = self.manager.unstar(cmd.session_id, cmd.hypothesis_id)
+        return {"hypothesis": hypothesis_to_dict(hyp)}
+
+    def _override(self, cmd: Override) -> dict:
+        report = self.manager.override_with_means(cmd.session_id, cmd.hypothesis_id)
+        return self._revision_to_dict(cmd.session_id, report)
+
+    def _delete_hypothesis(self, cmd: DeleteHypothesis) -> dict:
+        report = self.manager.delete_hypothesis(cmd.session_id, cmd.hypothesis_id)
+        return self._revision_to_dict(cmd.session_id, report)
+
+    def _wealth(self, cmd: Wealth) -> dict:
+        return self._gauge_summary(cmd.session_id)
+
+    def _decision_log(self, cmd: DecisionLog) -> dict:
+        records = [r.to_dict() for r in self.manager.decision_log(cmd.session_id)]
+        return {"session_id": cmd.session_id, "records": records}
+
+    def _export(self, cmd: Export) -> dict:
+        # One canonical session-JSON shape: the manager's export *is*
+        # exploration/export.py::session_to_dict, taken under the lock.
+        return self.manager.export(cmd.session_id)
+
+    def _close_session(self, cmd: CloseSession) -> dict:
+        self.manager.close_session(cmd.session_id)
+        return {"closed": cmd.session_id}
+
+    def _list_datasets(self, cmd: ListDatasets) -> dict:
+        datasets = []
+        for name in self.manager.dataset_names():
+            ds = self.manager.dataset(name)
+            datasets.append({
+                "name": name,
+                "rows": int(ds.n_rows),
+                "columns": list(ds.column_names),
+            })
+        return {"datasets": datasets}
+
+    def _stats(self, cmd: Stats) -> dict:
+        if cmd.session_id is not None:
+            s = self.manager.session_stats(cmd.session_id)
+            return {
+                "session_id": s.session_id,
+                "dataset": s.dataset_name,
+                "shows": s.shows,
+                "decisions": s.decisions,
+                "wealth": s.wealth,
+                "total_latency_s": s.total_latency_s,
+            }
+        svc = self.manager.stats()
+        return {
+            "sessions": svc.sessions,
+            "datasets": svc.datasets,
+            "shows": svc.shows,
+            "decisions": svc.decisions,
+            "mask_cache_hits": svc.mask_cache_hits,
+            "mask_cache_misses": svc.mask_cache_misses,
+            "hist_cache_hits": svc.hist_cache_hits,
+            "hist_cache_misses": svc.hist_cache_misses,
+            "shared_cache_hit_rate": svc.shared_cache_hit_rate,
+            "max_sessions": self.max_sessions,
+        }
+
+    # -- helpers -------------------------------------------------------------
+
+    def _gauge_summary(self, session_id: str) -> dict:
+        summary = self.manager.gauge_summary(session_id)
+        wealth, initial = summary["wealth"], summary["initial_wealth"]
+        fraction = (
+            max(0.0, min(1.0, wealth / initial))
+            if initial > 0 and not math.isnan(wealth)
+            else 0.0
+        )
+        return {
+            "session_id": session_id,
+            "alpha": summary["alpha"],
+            "wealth": clean_float(wealth),
+            "initial_wealth": clean_float(initial),
+            "wealth_fraction": fraction,
+            "procedure": summary["procedure"],
+            "num_tested": summary["num_tested"],
+            "num_discoveries": summary["num_discoveries"],
+            "exhausted": summary["exhausted"],
+        }
+
+    def _view_result_to_dict(self, session_id: str, result: ViewResult) -> dict:
+        viz = result.visualization
+        hist = result.histogram
+        payload: dict[str, Any] = {
+            "session_id": session_id,
+            "visualization": {
+                "attribute": viz.attribute,
+                "predicate": predicate_to_dict(viz.predicate.normalize()),
+                "bins": viz.bins,
+            },
+            "histogram": {
+                "attribute": hist.attribute,
+                "labels": [jsonable(v) for v in hist.labels],
+                "counts": [int(c) for c in hist.counts],
+                "filter": hist.filter_description,
+                "support": hist.support,
+            },
+            "hypothesis": (
+                hypothesis_to_dict(result.hypothesis)
+                if result.hypothesis is not None
+                else None
+            ),
+        }
+        return payload
+
+    def _revision_to_dict(self, session_id: str, report) -> dict:
+        return {
+            "session_id": session_id,
+            "revised_id": report.revised_id,
+            "changed": [
+                {"hypothesis_id": hid, "was_rejected": was, "now_rejected": now}
+                for hid, was, now in report.changed
+            ],
+            "wealth": clean_float(self.manager.wealth(session_id)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExplorationService(sessions={len(self.manager.session_ids())}, "
+            f"max_sessions={self.max_sessions})"
+        )
+
+
+
+def _error_details(exc: ReproError) -> dict:
+    """Structured details an error chose to carry (second constructor arg),
+    with floats made strict-JSON safe."""
+    if len(exc.args) >= 2 and isinstance(exc.args[1], Mapping):
+        return {
+            key: clean_float(value) if isinstance(value, float) else value
+            for key, value in exc.args[1].items()
+        }
+    return {}

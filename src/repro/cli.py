@@ -80,6 +80,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="free-form label stored in the ledger record")
     sweep.add_argument("--output", default=None,
                        help="append the record to this BENCH_scale.json ledger")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the v1 wire-protocol API over HTTP (asyncio, stdlib-only)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks a free one (default 8765)")
+    serve.add_argument("--rows", type=int, default=30_000,
+                       help="rows of the census dataset to register (default 30000)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="census generation seed (default 0)")
+    serve.add_argument("--max-sessions", type=int, default=None, metavar="N",
+                       help="admission-control session cap; 0 disables the cap "
+                            "(default: the service's DEFAULT_MAX_SESSIONS)")
     return parser
 
 
@@ -210,6 +226,28 @@ def _run_serve_sweep(args) -> str:
     return "\n".join(lines)
 
 
+def _run_serve(args) -> str:
+    from repro.api.http import serve_forever
+    from repro.api.service import DEFAULT_MAX_SESSIONS, ExplorationService
+    from repro.workloads.census import make_census
+
+    if args.max_sessions is None:
+        max_sessions = DEFAULT_MAX_SESSIONS
+    elif args.max_sessions == 0:
+        max_sessions = None  # 0 on the CLI = no admission cap
+    else:
+        max_sessions = args.max_sessions
+    service = ExplorationService(max_sessions=max_sessions)
+    print(f"generating census dataset ({args.rows} rows, seed {args.seed})...",
+          flush=True)
+    name = service.register_dataset(make_census(args.rows, seed=args.seed),
+                                    name="census")
+    print(f"registered dataset {name!r}; session cap "
+          f"{'unbounded' if max_sessions is None else max_sessions}", flush=True)
+    serve_forever(service, host=args.host, port=args.port)
+    return "server stopped"
+
+
 _COMMANDS = {
     "exp1a": _run_exp1a,
     "exp1b": _run_exp1b,
@@ -218,6 +256,7 @@ _COMMANDS = {
     "motivating": _run_motivating,
     "holdout": _run_holdout,
     "serve-sweep": _run_serve_sweep,
+    "serve": _run_serve,
 }
 
 

@@ -17,6 +17,8 @@ __all__ = [
     "SchemaError",
     "PredicateError",
     "SessionError",
+    "AdmissionRejectedError",
+    "ProtocolError",
 ]
 
 
@@ -62,3 +64,17 @@ class PredicateError(ReproError, ValueError):
 
 class SessionError(ReproError, RuntimeError):
     """An AWARE exploration session operation violated its contract."""
+
+
+class AdmissionRejectedError(ReproError, RuntimeError):
+    """The service refused to admit new work (e.g. the session cap is hit).
+
+    Admission control is a *service* concern, not a statistical one: the
+    per-manager session cap bounds memory and thread contention, and the
+    wire protocol maps this error to a structured ``ADMISSION_REJECTED``
+    envelope instead of registering sessions without bound.
+    """
+
+
+class ProtocolError(ReproError, ValueError):
+    """A wire-protocol request is malformed or speaks an unsupported version."""

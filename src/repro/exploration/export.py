@@ -22,6 +22,8 @@ from repro.errors import InvalidParameterError
 from repro.exploration.session import ExplorationSession
 
 __all__ = [
+    "clean_float",
+    "hypothesis_to_dict",
     "session_to_dict",
     "session_to_json",
     "save_session",
@@ -32,7 +34,7 @@ __all__ = [
 _SCHEMA_VERSION = 1
 
 
-def _clean_float(value: float) -> float | str | None:
+def clean_float(value: float) -> float | str | None:
     """JSON-safe float: inf/nan become strings, None passes through."""
     if value is None:
         return None
@@ -43,41 +45,48 @@ def _clean_float(value: float) -> float | str | None:
     return float(value)
 
 
+def hypothesis_to_dict(hyp) -> dict:
+    """Canonical JSON shape of one tracked hypothesis.
+
+    This is the *only* encoder for hypotheses: session export and the wire
+    protocol's ``show``/``star``/``export`` responses all go through it, so
+    a hypothesis serialized over HTTP is byte-compatible with the archived
+    session snapshot.
+    """
+    decision = hyp.decision
+    return {
+        "id": hyp.hypothesis_id,
+        "kind": hyp.kind,
+        "null": hyp.null_description,
+        "alternative": hyp.alternative_description,
+        "test": hyp.result.name,
+        "statistic": clean_float(hyp.result.statistic),
+        "p_value": clean_float(hyp.p_value),
+        "level": clean_float(decision.level if decision else None),
+        "rejected": bool(hyp.rejected) if decision else None,
+        "exhausted": bool(decision.exhausted) if decision else None,
+        "status": hyp.status.value,
+        "starred": hyp.starred,
+        "superseded_by": hyp.superseded_by,
+        "support": hyp.result.n_obs,
+        "support_fraction": clean_float(hyp.support_fraction),
+        "effect_size": clean_float(hyp.result.effect_size),
+        "effect_name": hyp.result.effect_name,
+        "data_to_flip": clean_float(hyp.data_to_flip()),
+    }
+
+
 def session_to_dict(session: ExplorationSession) -> dict:
     """Full JSON-serializable snapshot of a session's evidence trail."""
     gauge = session.gauge()
-    hypotheses = []
-    for hyp in session.history():
-        decision = hyp.decision
-        hypotheses.append(
-            {
-                "id": hyp.hypothesis_id,
-                "kind": hyp.kind,
-                "null": hyp.null_description,
-                "alternative": hyp.alternative_description,
-                "test": hyp.result.name,
-                "statistic": _clean_float(hyp.result.statistic),
-                "p_value": _clean_float(hyp.p_value),
-                "level": _clean_float(decision.level if decision else None),
-                "rejected": bool(hyp.rejected) if decision else None,
-                "exhausted": bool(decision.exhausted) if decision else None,
-                "status": hyp.status.value,
-                "starred": hyp.starred,
-                "superseded_by": hyp.superseded_by,
-                "support": hyp.result.n_obs,
-                "support_fraction": _clean_float(hyp.support_fraction),
-                "effect_size": _clean_float(hyp.result.effect_size),
-                "effect_name": hyp.result.effect_name,
-                "data_to_flip": _clean_float(hyp.data_to_flip()),
-            }
-        )
+    hypotheses = [hypothesis_to_dict(hyp) for hyp in session.history()]
     return {
         "schema_version": _SCHEMA_VERSION,
         "dataset": session.dataset.name,
         "procedure": gauge.procedure_name,
         "alpha": session.alpha,
-        "wealth": _clean_float(gauge.wealth),
-        "initial_wealth": _clean_float(gauge.initial_wealth),
+        "wealth": clean_float(gauge.wealth),
+        "initial_wealth": clean_float(gauge.initial_wealth),
         "num_tested": gauge.num_tested,
         "num_discoveries": gauge.num_discoveries,
         "exhausted": gauge.exhausted,

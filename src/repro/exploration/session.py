@@ -362,6 +362,10 @@ class ExplorationSession:
         """True when no future hypothesis can be rejected (Sec. 5.8)."""
         return bool(getattr(self._procedure, "is_exhausted", False))
 
+    def hypothesis(self, hypothesis_id: int) -> TrackedHypothesis:
+        """The tracked hypothesis with *hypothesis_id* (any status)."""
+        return self._get(hypothesis_id)
+
     def history(self) -> tuple[TrackedHypothesis, ...]:
         """Every hypothesis ever tracked, in id order, any status."""
         return tuple(self._hypotheses[i] for i in sorted(self._hypotheses))

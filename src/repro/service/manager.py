@@ -49,7 +49,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.errors import InvalidParameterError, SessionError
+from repro.errors import InvalidParameterError, SessionError, WealthExhaustedError
 from repro.exploration.dataset import Dataset
 from repro.exploration.engine import ensure_thread_safe_caches
 from repro.exploration.predicate import Predicate
@@ -72,7 +72,12 @@ class DecisionRecord:
 
     The log records decisions *in dispatch order, as they were made* —
     it is the audit trail the equivalence tests compare byte-for-byte
-    between serial and threaded execution.
+    between serial and threaded execution.  ``event`` distinguishes the
+    entry's provenance: ``"decision"`` for ordinary show-driven decisions,
+    ``"override"``/``"delete"`` for the user revision itself,
+    ``"replay"`` for a later decision the revision flipped, and
+    ``"star"``/``"unstar"`` for bookmark changes (audit that stars were
+    assigned independently of p-values, the Theorem 1 contract).
     """
 
     seq: int
@@ -82,6 +87,7 @@ class DecisionRecord:
     level: float
     rejected: bool
     wealth_after: float
+    event: str = "decision"
 
     def to_dict(self) -> dict:
         """JSON-ready form; float ``repr`` keeps full precision."""
@@ -93,6 +99,7 @@ class DecisionRecord:
             "level": repr(self.level),
             "rejected": self.rejected,
             "wealth_after": repr(self.wealth_after),
+            "event": self.event,
         }
 
 
@@ -313,11 +320,155 @@ class SessionManager:
         where: Predicate | None = None,
         bins: int | None = None,
         descriptive: bool = False,
+        reject_exhausted: bool = False,
     ) -> ViewResult:
-        """One ``show()`` against a managed session (locked, logged)."""
+        """One ``show()`` against a managed session (locked, logged).
+
+        With ``reject_exhausted=True``, a hypothesis-generating show
+        against a session whose α-wealth is exhausted raises
+        :class:`~repro.errors.WealthExhaustedError` carrying the gauge
+        summary — checked *inside* the session lock, so a racing show
+        that spends the last wealth can never slip a sibling request
+        past the check (the wire protocol's admission-control rule).
+        """
         managed = self._managed(session_id)
         with managed.lock:
+            if reject_exhausted and not descriptive and managed.session.is_exhausted:
+                raise WealthExhaustedError(
+                    f"session {session_id!r} has exhausted its alpha-wealth; "
+                    "no further hypothesis can be rejected",
+                    self._summary_locked(managed),
+                )
             return self._show_locked(managed, attribute, where, bins, descriptive)
+
+    # -- session verbs (lock-mediated revisions & reads) ---------------------
+    #
+    # Today *every* session verb — not just show() — goes through the
+    # manager under the per-session lock.  Direct ExplorationSession access
+    # from another thread could interleave a revision replay with a
+    # dispatched show and break the submission-order guarantee the
+    # decision-log equivalence tests pin down.
+
+    def star(self, session_id: str, hypothesis_id: int):
+        """Bookmark a hypothesis; logged as a ``star`` event.
+
+        Theorem 1 contract: stars must be assigned independently of
+        p-values — logging them makes that auditable after the fact.
+        """
+        managed = self._managed(session_id)
+        with managed.lock:
+            hyp = managed.session.star(hypothesis_id)
+            self._append_event(managed, "star", hyp)
+            return hyp
+
+    def unstar(self, session_id: str, hypothesis_id: int):
+        """Remove a bookmark; logged as an ``unstar`` event."""
+        managed = self._managed(session_id)
+        with managed.lock:
+            hyp = managed.session.unstar(hypothesis_id)
+            self._append_event(managed, "unstar", hyp)
+            return hyp
+
+    def override_with_means(self, session_id: str, hypothesis_id: int):
+        """Step-F override (m4 → m4') under the session lock.
+
+        The revision and the replayed decisions it flips are all recorded
+        in the decision log (events ``override`` then ``replay``), so the
+        audit trail shows *why* a later decision changed.
+        """
+        managed = self._managed(session_id)
+        with managed.lock:
+            report = managed.session.override_with_means(hypothesis_id)
+            self._append_event(
+                managed, "override", managed.session.hypothesis(hypothesis_id)
+            )
+            self._append_replays(managed, report)
+            return report
+
+    def delete_hypothesis(self, session_id: str, hypothesis_id: int):
+        """Delete a hypothesis from the stream under the session lock."""
+        managed = self._managed(session_id)
+        with managed.lock:
+            report = managed.session.delete(hypothesis_id)
+            self._append_event(
+                managed, "delete", managed.session.hypothesis(hypothesis_id)
+            )
+            self._append_replays(managed, report)
+            return report
+
+    def gauge(self, session_id: str):
+        """Immutable Fig. 2 gauge snapshot, taken under the session lock."""
+        managed = self._managed(session_id)
+        with managed.lock:
+            return managed.session.gauge()
+
+    def gauge_summary(self, session_id: str) -> dict:
+        """The gauge's scalar header without the per-hypothesis entries.
+
+        ``gauge()`` builds one entry (including the n_H1 power
+        extrapolation) per tracked hypothesis — O(hypotheses) work a
+        wealth poll doesn't need.  This read is O(1) and what the wire
+        protocol's ``wealth`` verb serves.
+        """
+        managed = self._managed(session_id)
+        with managed.lock:
+            return self._summary_locked(managed)
+
+    @staticmethod
+    def _summary_locked(managed: _ManagedSession) -> dict:
+        session = managed.session
+        procedure = session.procedure
+        ledger = getattr(procedure, "ledger", None)
+        initial = ledger.initial_wealth if ledger is not None else float("nan")
+        return {
+            "alpha": session.alpha,
+            "wealth": session.wealth,
+            "initial_wealth": initial,
+            "procedure": getattr(procedure, "name", "procedure"),
+            "num_tested": procedure.num_tested,
+            "num_discoveries": procedure.num_rejected,
+            "exhausted": session.is_exhausted,
+        }
+
+    def export(self, session_id: str) -> dict:
+        """Canonical session snapshot (``export.session_to_dict`` shape),
+        taken under the session lock so it can never observe a half-applied
+        revision."""
+        from repro.exploration.export import session_to_dict
+
+        managed = self._managed(session_id)
+        with managed.lock:
+            return session_to_dict(managed.session)
+
+    def _append_event(self, managed: _ManagedSession, event: str, hyp) -> None:
+        """Append a non-show log entry for *hyp* (caller holds the lock)."""
+        decision = hyp.decision
+        managed.log.append(
+            DecisionRecord(
+                seq=len(managed.log),
+                hypothesis_id=hyp.hypothesis_id,
+                kind=hyp.kind,
+                p_value=hyp.p_value,
+                level=decision.level if decision is not None else 0.0,
+                rejected=bool(decision.rejected) if decision is not None else False,
+                wealth_after=managed.session.wealth,
+                event=event,
+            )
+        )
+
+    def _append_replays(self, managed: _ManagedSession, report) -> None:
+        """Log every *later* decision a revision replay flipped (lock held).
+
+        The revised hypothesis itself already got its ``override``/``delete``
+        entry — repeating it as a ``replay`` would make the audit trail
+        read as if a different decision changed.
+        """
+        for hyp_id, _was, _now in report.changed:
+            if hyp_id == report.revised_id:
+                continue
+            self._append_event(
+                managed, "replay", managed.session.hypothesis(hyp_id)
+            )
 
     def dispatch(
         self,

@@ -1,0 +1,269 @@
+"""ExplorationService: dispatch, lifecycle, admission control, envelopes."""
+
+import json
+
+import pytest
+
+from repro.api.protocol import PROTOCOL_VERSION, CreateSession, Show
+from repro.api.service import ExplorationService
+from repro.errors import InvalidParameterError
+from repro.exploration.export import session_to_dict
+from repro.exploration.predicate import Eq, Not
+from repro.service import SessionManager
+
+
+@pytest.fixture()
+def service(census):
+    svc = ExplorationService(max_sessions=4)
+    svc.register_dataset(census, name="census")
+    return svc
+
+
+def _create(service, **kwargs):
+    resp = service.handle(CreateSession(dataset="census", **kwargs))
+    assert resp.ok, resp.error
+    return resp.result["session_id"]
+
+
+class TestLifecycle:
+    def test_full_lifecycle_over_wire_dicts(self, service):
+        """create → show → star → override → export → close, as raw JSON."""
+        sid = service.handle_dict(
+            {"v": 1, "cmd": "create_session", "dataset": "census"}
+        )["result"]["session_id"]
+        # two age panels under complementary filters -> rule-3 comparison
+        for where in (
+            {"op": "eq", "column": "sex", "value": "Female"},
+            {"op": "not", "operand": {"op": "eq", "column": "sex",
+                                      "value": "Female"}},
+        ):
+            env = service.handle_dict({"v": 1, "cmd": "show", "session_id": sid,
+                                       "attribute": "age", "where": where})
+            assert env["ok"], env
+        hyp_id = env["result"]["hypothesis"]["id"]
+        env = service.handle_dict({"v": 1, "cmd": "star", "session_id": sid,
+                                   "hypothesis_id": hyp_id})
+        assert env["result"]["hypothesis"]["starred"] is True
+        env = service.handle_dict({"v": 1, "cmd": "override", "session_id": sid,
+                                   "hypothesis_id": hyp_id})
+        assert env["result"]["revised_id"] == hyp_id
+        env = service.handle_dict({"v": 1, "cmd": "export", "session_id": sid})
+        assert env["result"]["schema_version"] == 1
+        overridden = [h for h in env["result"]["hypotheses"]
+                      if h["id"] == hyp_id][0]
+        assert overridden["kind"] == "override"
+        env = service.handle_dict({"v": 1, "cmd": "close_session",
+                                   "session_id": sid})
+        assert env["result"] == {"closed": sid}
+        env = service.handle_dict({"v": 1, "cmd": "wealth", "session_id": sid})
+        assert env["error"]["code"] == "SESSION"
+
+    def test_every_envelope_is_json_serializable(self, service):
+        sid = _create(service)
+        service.handle(Show(session_id=sid, attribute="education",
+                            where=Eq("sex", "Female")))
+        for cmd in ("wealth", "decision_log", "export", "stats"):
+            env = service.handle_dict({"v": 1, "cmd": cmd, "session_id": sid})
+            json.dumps(env)  # must not raise (numpy scalars collapsed)
+        json.dumps(service.handle_dict({"v": 1, "cmd": "list_datasets"}))
+
+    def test_show_payload_carries_histogram_and_hypothesis(self, service, census):
+        sid = _create(service)
+        resp = service.handle(Show(session_id=sid, attribute="education",
+                                   where=Eq("sex", "Female")))
+        result = resp.result
+        assert result["histogram"]["attribute"] == "education"
+        assert sum(result["histogram"]["counts"]) == result["histogram"]["support"]
+        assert result["hypothesis"]["kind"] == "rule2-distribution-shift"
+        assert result["visualization"]["predicate"] == {
+            "op": "eq", "column": "sex", "value": "Female"
+        }
+
+    def test_descriptive_show_tracks_no_hypothesis(self, service):
+        sid = _create(service)
+        resp = service.handle(Show(session_id=sid, attribute="education",
+                                   where=Eq("sex", "Female"), descriptive=True))
+        assert resp.ok and resp.result["hypothesis"] is None
+
+    def test_export_is_the_canonical_session_shape(self, service):
+        sid = _create(service)
+        service.handle(Show(session_id=sid, attribute="education",
+                            where=Eq("sex", "Female")))
+        exported = service.handle_dict(
+            {"v": 1, "cmd": "export", "session_id": sid}
+        )["result"]
+        assert exported == session_to_dict(service.manager.session(sid))
+
+    def test_export_round_trips_through_load_session_records(self, service,
+                                                             tmp_path):
+        from repro.exploration.export import load_session_records
+
+        sid = _create(service)
+        service.handle(Show(session_id=sid, attribute="education",
+                            where=Eq("sex", "Female")))
+        exported = service.handle_dict(
+            {"v": 1, "cmd": "export", "session_id": sid}
+        )["result"]
+        path = tmp_path / "session.json"
+        path.write_text(json.dumps(exported))
+        records = load_session_records(path)
+        assert records == exported
+
+    def test_stats_service_and_session_scoped(self, service):
+        sid = _create(service)
+        service.handle(Show(session_id=sid, attribute="education",
+                            where=Eq("sex", "Female")))
+        svc_stats = service.handle_dict({"v": 1, "cmd": "stats"})["result"]
+        assert svc_stats["sessions"] == 1 and svc_stats["shows"] >= 1
+        assert svc_stats["max_sessions"] == 4
+        sess_stats = service.handle_dict(
+            {"v": 1, "cmd": "stats", "session_id": sid}
+        )["result"]
+        assert sess_stats["session_id"] == sid
+        assert sess_stats["shows"] == 1
+
+
+class TestAdmissionControl:
+    def test_session_cap_returns_admission_rejected(self, census):
+        svc = ExplorationService(max_sessions=2)
+        svc.register_dataset(census, name="census")
+        _create(svc)
+        _create(svc)
+        resp = svc.handle(CreateSession(dataset="census"))
+        assert not resp.ok
+        assert resp.error.code == "ADMISSION_REJECTED"
+        assert resp.error.details == {"active_sessions": 2, "max_sessions": 2}
+
+    def test_closing_a_session_frees_capacity(self, census):
+        svc = ExplorationService(max_sessions=1)
+        svc.register_dataset(census, name="census")
+        sid = _create(svc)
+        assert not svc.handle(CreateSession(dataset="census")).ok
+        svc.handle_dict({"v": 1, "cmd": "close_session", "session_id": sid})
+        assert svc.handle(CreateSession(dataset="census")).ok
+
+    def test_uncapped_service_admits_freely(self, census):
+        svc = ExplorationService(max_sessions=None)
+        svc.register_dataset(census, name="census")
+        for _ in range(8):
+            _create(svc)
+        assert len(svc.manager.session_ids()) == 8
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ExplorationService(max_sessions=0)
+
+    def test_wealth_exhausted_show_gets_gauge_in_details(self, census):
+        svc = ExplorationService(manager=SessionManager())
+        svc.register_dataset(census, name="census")
+        # gamma=3 affords only ~3 misses before the ledger is empty
+        sid = _create(svc, procedure="gamma-fixed", procedure_kwargs={"gamma": 3.0})
+        dead_ends = [("sex", "workclass", "Private"),
+                     ("sex", "race", "GroupB"),
+                     ("education", "native_region", "North"),
+                     ("sex", "workclass", "Government")]
+        for target, attr, cat in dead_ends:
+            resp = svc.handle(Show(session_id=sid, attribute=target,
+                                   where=Eq(attr, cat)))
+            if not resp.ok:
+                break
+        assert svc.manager.session(sid).is_exhausted
+        resp = svc.handle(Show(session_id=sid, attribute="salary_over_50k",
+                               where=Eq("education", "PhD")))
+        assert not resp.ok
+        assert resp.error.code == "WEALTH_EXHAUSTED"
+        assert resp.error.details["exhausted"] is True
+        assert resp.error.details["num_tested"] >= 3
+        # the rejection consumed nothing: no new hypothesis was tracked
+        assert len(svc.manager.session(sid).history()) == \
+            resp.error.details["num_tested"]
+
+    def test_exhausted_session_still_serves_descriptive_and_reads(self, census):
+        svc = ExplorationService()
+        svc.register_dataset(census, name="census")
+        sid = _create(svc, procedure="gamma-fixed", procedure_kwargs={"gamma": 3.0})
+        for target, attr, cat in [("sex", "workclass", "Private"),
+                                  ("sex", "race", "GroupB"),
+                                  ("education", "native_region", "North"),
+                                  ("sex", "workclass", "Government")]:
+            svc.handle(Show(session_id=sid, attribute=target, where=Eq(attr, cat)))
+        assert svc.manager.session(sid).is_exhausted
+        resp = svc.handle(Show(session_id=sid, attribute="education",
+                               descriptive=True))
+        assert resp.ok  # descriptive panels spend no wealth
+        assert svc.handle_dict({"v": 1, "cmd": "wealth",
+                                "session_id": sid})["ok"]
+        assert svc.handle_dict({"v": 1, "cmd": "export",
+                                "session_id": sid})["ok"]
+
+
+class TestErrorEnvelopes:
+    def test_protocol_violations_never_raise(self, service):
+        for bad in (
+            {"cmd": "show"},                       # missing v
+            {"v": 999, "cmd": "show"},             # wrong version
+            {"v": 1, "cmd": "nope"},               # unknown verb
+            {"v": 1, "cmd": "show", "extra": 1},   # unknown field
+            [],                                    # not an object
+        ):
+            resp = service.handle(bad)
+            assert not resp.ok
+            assert resp.error.code == "PROTOCOL"
+
+    def test_typed_command_with_wrong_version_rejected(self, service):
+        resp = service.handle(Show(session_id="s", attribute="a",
+                                   v=PROTOCOL_VERSION + 1))
+        assert resp.error.code == "PROTOCOL"
+
+    def test_library_errors_map_to_stable_codes(self, service):
+        sid = _create(service)
+        cases = [
+            ({"v": 1, "cmd": "show", "session_id": "ghost",
+              "attribute": "age"}, "SESSION"),
+            ({"v": 1, "cmd": "show", "session_id": sid,
+              "attribute": "no_such_column"}, "SCHEMA"),
+            ({"v": 1, "cmd": "show", "session_id": sid, "attribute": "sex",
+              "where": {"op": "eq", "column": "sex", "value": "Martian"}},
+             "PREDICATE"),
+            ({"v": 1, "cmd": "create_session", "dataset": "census",
+              "procedure": "not-a-procedure"}, "UNKNOWN_PROCEDURE"),
+            ({"v": 1, "cmd": "star", "session_id": sid,
+              "hypothesis_id": 999}, "SESSION"),
+        ]
+        for request, code in cases:
+            resp = service.handle(request)
+            assert not resp.ok
+            assert resp.error.code == code, (request, resp.error)
+
+    def test_no_traceback_material_in_envelopes(self, service):
+        resp = service.handle({"v": 1, "cmd": "show", "session_id": "ghost",
+                               "attribute": "age"})
+        wire = json.dumps(resp.to_dict())
+        assert "Traceback" not in wire
+        assert "repro/" not in wire  # no file paths either
+
+
+class TestDecisionLogParity:
+    def test_service_log_matches_direct_manager_log(self, census):
+        """The wire boundary adds zero decisions: driving panels through
+        handle() and through SessionManager.show() yields byte-identical
+        decision logs."""
+        panels = [("education", Eq("sex", "Female")),
+                  ("age", Eq("sex", "Female")),
+                  ("age", Not(Eq("sex", "Female"))),
+                  ("occupation", Eq("education", "PhD"))]
+
+        svc = ExplorationService()
+        svc.register_dataset(census, name="census")
+        sid = _create(svc)
+        for attribute, where in panels:
+            assert svc.handle(Show(session_id=sid, attribute=attribute,
+                                   where=where)).ok
+        via_service = svc.manager.decision_log_bytes(sid)
+
+        manager = SessionManager()
+        manager.register_dataset(census, name="census")
+        direct = manager.create_session("census")
+        for attribute, where in panels:
+            manager.show(direct, attribute, where=where)
+        assert via_service == manager.decision_log_bytes(direct)

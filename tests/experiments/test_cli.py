@@ -28,6 +28,16 @@ class TestParser:
             build_parser().parse_args(["--version"])
         assert exc.value.code == 0
 
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--rows", "5000", "--max-sessions", "8"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.rows == 5000
+        assert args.max_sessions == 8
+        assert args.host == "127.0.0.1"
+
 
 class TestCommands:
     def test_motivating(self, capsys):

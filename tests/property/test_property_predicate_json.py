@@ -1,0 +1,104 @@
+"""Property: the predicate JSON codec is lossless for the whole algebra.
+
+For any randomly generated predicate tree over a shared dataset,
+``predicate_from_dict(predicate_to_dict(p))`` — with a real JSON
+serialization in between, exactly what the HTTP transport does — must be
+
+* ``normalize()``-equivalent to the original (structural identity of the
+  canonical forms), and
+* mask-identical: byte-for-byte the same boolean row mask, which is what
+  actually guarantees that a filter shipped over the wire selects the
+  same rows the analyst saw.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.protocol import predicate_from_dict, predicate_to_dict
+from repro.exploration.dataset import Dataset
+from repro.exploration.predicate import TRUE, And, Eq, In, Not, Or, Range
+
+_COLORS = ("red", "blue", "green")
+_SHAPES = ("circle", "square", "triangle")
+
+
+def _build_dataset() -> Dataset:
+    rng = np.random.default_rng(424242)
+    n = 400
+    return Dataset(
+        {
+            "color": rng.choice(_COLORS, size=n),
+            "shape": rng.choice(_SHAPES, size=n),
+            "weight": rng.normal(50.0, 10.0, size=n),
+        },
+        categorical=["color", "shape"],
+        name="codec-property",
+    )
+
+
+_DATASET = _build_dataset()
+
+_CATEGORY = {"color": _COLORS, "shape": _SHAPES}
+
+
+@st.composite
+def leaf(draw):
+    which = draw(st.sampled_from(["true", "eq", "in", "range"]))
+    if which == "true":
+        return TRUE
+    if which == "range":
+        lo = draw(st.sampled_from([-float("inf"), 20.0, 35.0, 50.0]))
+        hi = draw(st.sampled_from([65.0, 80.0, float("inf")]))
+        return Range("weight", lo, hi)
+    column = draw(st.sampled_from(list(_CATEGORY)))
+    categories = _CATEGORY[column]
+    if which == "eq":
+        return Eq(column, draw(st.sampled_from(categories)))
+    values = draw(st.lists(st.sampled_from(categories), min_size=1,
+                           max_size=len(categories)))
+    return In(column, tuple(values))
+
+
+def _combine(children):
+    a = children
+    if len(a) == 1:
+        return Not(a[0])
+    return And(tuple(a)) if len(a) % 2 else Or(tuple(a))
+
+
+predicates = st.recursive(
+    leaf(),
+    lambda inner: st.lists(inner, min_size=1, max_size=3).map(_combine),
+    max_leaves=8,
+)
+
+
+class TestPredicateJsonRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(predicates)
+    def test_roundtrip_is_normalize_equivalent_and_mask_identical(self, pred):
+        wire = json.dumps(predicate_to_dict(pred))
+        rebuilt = predicate_from_dict(json.loads(wire))
+        assert rebuilt.normalize() == pred.normalize()
+        original_mask = pred.mask(_DATASET)
+        rebuilt_mask = rebuilt.mask(_DATASET)
+        assert original_mask.dtype == rebuilt_mask.dtype == np.bool_
+        assert np.array_equal(original_mask, rebuilt_mask)
+
+    @settings(max_examples=100, deadline=None)
+    @given(predicates)
+    def test_wire_form_is_strict_json(self, pred):
+        wire = json.dumps(predicate_to_dict(pred), allow_nan=False)
+        assert isinstance(json.loads(wire), dict)
+
+    @settings(max_examples=100, deadline=None)
+    @given(predicates)
+    def test_double_roundtrip_is_stable(self, pred):
+        once = predicate_from_dict(predicate_to_dict(pred))
+        twice = predicate_from_dict(predicate_to_dict(once))
+        assert predicate_to_dict(once) == predicate_to_dict(twice)

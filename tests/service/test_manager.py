@@ -240,8 +240,9 @@ class TestLogsAndStats:
         for entry in payload:
             assert set(entry) == {
                 "seq", "hypothesis_id", "kind", "p_value", "level",
-                "rejected", "wealth_after",
+                "rejected", "wealth_after", "event",
             }
+            assert entry["event"] == "decision"
             float(entry["p_value"])  # repr round-trips
 
     def test_session_and_service_stats(self, manager, census):
@@ -255,3 +256,75 @@ class TestLogsAndStats:
         assert svc.sessions >= 1 and svc.datasets == 1
         assert svc.shows >= s.shows
         assert 0.0 <= svc.mask_cache_hit_rate <= 1.0
+
+
+class TestRevisionVerbs:
+    """star/unstar/override/delete are lock-mediated and land in the log."""
+
+    def _rule3_session(self, manager):
+        """A session with a numeric rule-3 comparison (hyp 3) over `age`."""
+        sid = manager.create_session("census")
+        manager.show(sid, "age", where=Eq("sex", "Female"))
+        manager.show(sid, "age", where=~Eq("sex", "Female"))
+        return sid
+
+    def test_star_and_unstar_are_logged(self, manager):
+        sid = self._rule3_session(manager)
+        hyp = manager.star(sid, 1)
+        assert hyp.starred
+        assert manager.session(sid).hypothesis(1).starred
+        hyp = manager.unstar(sid, 1)
+        assert not hyp.starred
+        events = [r.event for r in manager.decision_log(sid)]
+        assert events[-2:] == ["star", "unstar"]
+        assert all(r.seq == i for i, r in enumerate(manager.decision_log(sid)))
+
+    def test_override_with_means_replays_and_logs(self, manager):
+        sid = self._rule3_session(manager)
+        report = manager.override_with_means(sid, 2)
+        assert report.revised_id == 2
+        revised = manager.session(sid).hypothesis(2)
+        assert revised.kind == "override"
+        log = manager.decision_log(sid)
+        override_entries = [r for r in log if r.event == "override"]
+        assert [r.hypothesis_id for r in override_entries] == [2]
+        # every *later* flip the replay caused is logged after the revision
+        # (the revised hypothesis itself is the "override" entry, not a replay)
+        replay_entries = [r for r in log if r.event == "replay"]
+        later_flips = [c for c in report.changed if c[0] != report.revised_id]
+        assert len(replay_entries) == len(later_flips)
+        assert all(r.hypothesis_id != report.revised_id for r in replay_entries)
+
+    def test_delete_hypothesis_removes_from_stream_and_logs(self, manager):
+        sid = self._rule3_session(manager)
+        manager.show(sid, "education", where=Eq("sex", "Female"))
+        report = manager.delete_hypothesis(sid, 3)
+        assert report.revised_id == 3
+        session = manager.session(sid)
+        assert session.hypothesis(3).status.value == "deleted"
+        assert 3 not in [h.hypothesis_id for h in session.active_hypotheses()]
+        assert [r.hypothesis_id for r in manager.decision_log(sid)
+                if r.event == "delete"] == [3]
+
+    def test_revision_verbs_require_known_session(self, manager):
+        with pytest.raises(SessionError):
+            manager.star("nope", 1)
+        with pytest.raises(SessionError):
+            manager.delete_hypothesis("nope", 1)
+
+    def test_gauge_summary_matches_full_gauge_header(self, manager):
+        sid = self._rule3_session(manager)
+        summary = manager.gauge_summary(sid)
+        gauge = manager.gauge(sid)
+        assert summary["wealth"] == gauge.wealth
+        assert summary["initial_wealth"] == gauge.initial_wealth
+        assert summary["num_tested"] == gauge.num_tested
+        assert summary["num_discoveries"] == gauge.num_discoveries
+        assert summary["exhausted"] == gauge.exhausted
+        assert summary["procedure"] == gauge.procedure_name
+
+    def test_export_is_canonical_session_to_dict(self, manager):
+        from repro.exploration.export import session_to_dict
+
+        sid = self._rule3_session(manager)
+        assert manager.export(sid) == session_to_dict(manager.session(sid))
