@@ -13,10 +13,23 @@ A markdown table of old/new/delta is printed to stdout and, when the
 does inside a GitHub Actions job), appended there so the comparison
 shows up in the job summary.
 
+Beyond the mean-regression rule, two structural gates:
+
+* ``--require NAME`` (repeatable) fails when the candidate record lacks a
+  benchmark — protecting newly added cells (e.g. the pipelined API
+  gestures) from silently disappearing while they are still absent from
+  the committed baseline;
+* ``--min-speedup SLOW:FAST:RATIO`` (repeatable) fails when the
+  candidate's ``mean(SLOW) / mean(FAST)`` drops below RATIO — the gate
+  for *relative* contracts like "a pipelined gesture batch must stay
+  ≥ Nx faster than sequential v1 requests", which a same-machine ratio
+  checks without cross-machine noise.
+
 Usage::
 
     python benchmarks/check_regression.py \
-        --baseline BENCH_interactive.json --candidate fresh.json [--threshold 2.5]
+        --baseline BENCH_interactive.json --candidate fresh.json [--threshold 2.5] \
+        [--require NAME ...] [--min-speedup SLOW:FAST:RATIO ...]
 """
 
 from __future__ import annotations
@@ -109,6 +122,49 @@ def markdown_table(rows: list[dict], threshold: float) -> str:
     return "\n".join(lines)
 
 
+def parse_speedup_spec(spec: str) -> tuple[str, str, float]:
+    """``"slow:fast:ratio"`` -> (slow, fast, ratio), validated."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise ValueError(f"--min-speedup wants SLOW:FAST:RATIO, got {spec!r}")
+    slow, fast, raw_ratio = parts
+    try:
+        ratio = float(raw_ratio)
+    except ValueError:
+        raise ValueError(f"--min-speedup ratio must be a number: {spec!r}") \
+            from None
+    if not slow or not fast or ratio <= 0:
+        raise ValueError(f"bad --min-speedup spec: {spec!r}")
+    return slow, fast, ratio
+
+
+def check_requirements(
+    candidate: dict[str, float],
+    required: list[str],
+    speedups: list[tuple[str, str, float]],
+) -> list[str]:
+    """Failure messages for missing cells and broken speedup contracts."""
+    failures: list[str] = []
+    for name in required:
+        if name not in candidate:
+            failures.append(f"{name}: required benchmark missing from candidate")
+    for slow, fast, ratio in speedups:
+        if slow not in candidate or fast not in candidate:
+            failures.append(
+                f"speedup {slow}/{fast}: benchmark(s) missing from candidate"
+            )
+            continue
+        actual = candidate[slow] / candidate[fast]
+        if actual < ratio:
+            failures.append(
+                f"speedup {slow}/{fast}: {actual:.2f}x is below the "
+                f"required {ratio}x"
+            )
+        else:
+            print(f"speedup {slow}/{fast}: {actual:.2f}x (>= {ratio}x)")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, required=True,
@@ -117,15 +173,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="freshly generated benchmark record")
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help=f"max tolerated slowdown factor (default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="benchmark that must exist in the candidate "
+                             "(repeatable)")
+    parser.add_argument("--min-speedup", action="append", default=[],
+                        metavar="SLOW:FAST:RATIO", dest="min_speedup",
+                        help="require candidate mean(SLOW)/mean(FAST) >= RATIO "
+                             "(repeatable)")
     args = parser.parse_args(argv)
     if args.threshold <= 1.0:
         parser.error("--threshold must be > 1.0")
+    try:
+        speedup_specs = [parse_speedup_spec(s) for s in args.min_speedup]
+    except ValueError as exc:
+        parser.error(str(exc))
 
     baseline = load_means(args.baseline)
     candidate = load_means(args.candidate)
     if not baseline:
         parser.error(f"no usable benchmarks in baseline {args.baseline}")
     rows, failures = compare(baseline, candidate, args.threshold)
+    failures += check_requirements(candidate, args.require, speedup_specs)
     table = markdown_table(rows, args.threshold)
     print(table)
 

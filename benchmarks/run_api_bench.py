@@ -11,7 +11,22 @@ regression pinpoints *which* layer slowed down:
 * ``http_show`` — the same command through the asyncio HTTP server and
   blocking client over localhost (measures transport overhead);
 * ``http_read`` — a read-only ``wealth`` command over HTTP (no engine
-  work: nearly pure protocol + transport cost).
+  work: nearly pure protocol + transport cost);
+* ``http_gesture_sequential`` — one show→star→show user gesture as three
+  sequential v1 requests (the v1 client's only option: three round
+  trips, with the client parsing the first response to chain the star);
+* ``http_gesture_pipeline`` — the same gesture as one v2 pipeline
+  envelope (``"$prev"`` chains the star server-side): one round trip;
+* ``http_gesture_pipeline_batch16`` — sixteen gestures batched into a
+  single envelope, reported **per gesture**, the high-throughput replay
+  shape.  The record's top-level ``pipeline_speedup`` fields carry the
+  sequential/pipelined mean ratios the CI gate checks.
+
+The gesture panel (``salary_over_50k`` under ``education = PhD``) is a
+true effect, so its hypothesis keeps rejecting and α-investing keeps the
+ledger funded across hundreds of timed rounds — a panel that merely
+*accepts* would exhaust the session mid-benchmark and silently turn the
+tail of the measurement into WEALTH_EXHAUSTED error envelopes.
 
 The ledger follows the same attributable-record conventions as
 ``BENCH_scale.json``: ``{"suite": "api-bench", "records": [...]}``,
@@ -129,7 +144,80 @@ def bench_http(service: ExplorationService, rounds: int) -> tuple[dict, dict]:
     return show_stats, read_stats
 
 
-def append_record(path: Path, benchmarks: dict, rows: int) -> dict:
+#: Gestures per envelope in the batched-throughput cell (48 commands,
+#: inside the protocol's MAX_PIPELINE_COMMANDS bound).
+_BATCH_GESTURES = 16
+
+
+def _gesture_show(session_id: str) -> dict:
+    """The gesture's show as a wire dict (a sustained true effect)."""
+    return {"cmd": "show", "session_id": session_id,
+            "attribute": "salary_over_50k",
+            "where": {"op": "eq", "column": "education", "value": "PhD"}}
+
+
+def bench_http_gestures(
+    service: ExplorationService, rounds: int
+) -> dict[str, dict]:
+    """Pipelined-vs-sequential cells for one show→star→show gesture.
+
+    ``auto_idem`` is off: the benchmark re-sends one literal payload every
+    round, and idempotency tokens would turn rounds 2..N into cached
+    replays — measuring the idem cache instead of execution.  Every round
+    asserts its envelope succeeded, so a wealth-exhausted session can
+    never silently degrade the measurement into error-path timings.
+    """
+    results: dict[str, dict] = {}
+    with ServerThread(service) as server:
+        with Client(port=server.port, auto_idem=False) as client:
+            sid = client.create_session("census")
+            show = _gesture_show(sid)
+            star_prev = {"cmd": "star", "session_id": sid,
+                         "hypothesis_id": "$prev"}
+
+            def sequential() -> None:
+                view = client.call(dict(show, v=1))
+                client.call({"v": 1, "cmd": "star", "session_id": sid,
+                             "hypothesis_id": view["hypothesis"]["id"]})
+                client.call(dict(show, v=1))
+
+            results["http_gesture_sequential"] = _measure(sequential, rounds)
+
+            pipeline = {"v": 2, "cmd": "pipeline",
+                        "commands": [show, star_prev, show]}
+
+            def pipelined() -> None:
+                result = client.call(pipeline)
+                if not all(slot["ok"] for slot in result["slots"]):
+                    raise InvalidParameterError(
+                        f"bench pipeline failed: {result['slots']}")
+
+            results["http_gesture_pipeline"] = _measure(pipelined, rounds)
+
+            batch = {"v": 2, "cmd": "pipeline",
+                     "commands": [show, star_prev, show] * _BATCH_GESTURES}
+
+            def batched() -> None:
+                result = client.call(batch)
+                if not all(slot["ok"] for slot in result["slots"]):
+                    raise InvalidParameterError(
+                        f"bench batch failed: {result['slots']}")
+
+            batch_rounds = max(10, rounds // 4)
+            raw = _measure(batched, batch_rounds)
+            # report per gesture so the cell is comparable with the other two
+            results["http_gesture_pipeline_batch16"] = {
+                "mean_s": raw["mean_s"] / _BATCH_GESTURES,
+                "p95_s": raw["p95_s"] / _BATCH_GESTURES,
+                "stddev_s": raw["stddev_s"] / _BATCH_GESTURES,
+                "rounds": raw["rounds"],
+            }
+            client.close_session(sid)
+    return results
+
+
+def append_record(path: Path, benchmarks: dict, rows: int,
+                  extra: dict | None = None) -> dict:
     """Append one attributable record to the ``BENCH_api.json`` ledger."""
     if path.exists():
         payload = json.loads(path.read_text())
@@ -143,6 +231,7 @@ def append_record(path: Path, benchmarks: dict, rows: int) -> dict:
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     record["rows"] = rows
     record["benchmarks"] = benchmarks
+    record.update(extra or {})
     payload["records"].append(record)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return record
@@ -172,13 +261,27 @@ def main(argv: list[str] | None = None) -> int:
     http_show, http_read = bench_http(service, args.rounds)
     benchmarks["http_show"] = http_show
     benchmarks["http_read"] = http_read
+    print("benchmarking pipelined vs sequential gestures...", flush=True)
+    benchmarks.update(bench_http_gestures(service, args.rounds))
 
-    record = append_record(args.output, benchmarks, args.rows)
+    sequential = benchmarks["http_gesture_sequential"]["mean_s"]
+    speedups = {
+        "pipeline_speedup":
+            sequential / benchmarks["http_gesture_pipeline"]["mean_s"],
+        "pipeline_speedup_batch16":
+            sequential / benchmarks["http_gesture_pipeline_batch16"]["mean_s"],
+    }
+
+    record = append_record(args.output, benchmarks, args.rows, extra=speedups)
     print(f"appended record ({record['git_sha'][:12]}) to {args.output}")
     for name, stats in sorted(benchmarks.items()):
         per_s = 1.0 / stats["mean_s"] if stats["mean_s"] > 0 else float("inf")
         print(f"  {name}: mean={stats['mean_s'] * 1e3:.3f} ms "
               f"p95={stats['p95_s'] * 1e3:.3f} ms (~{per_s:,.0f}/s)")
+    print(f"  pipeline speedup vs sequential: "
+          f"{speedups['pipeline_speedup']:.2f}x single gesture, "
+          f"{speedups['pipeline_speedup_batch16']:.2f}x per gesture "
+          f"batched x{_BATCH_GESTURES}")
     return 0
 
 

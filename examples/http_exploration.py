@@ -17,7 +17,13 @@ that mediates every adaptive query.  The script
    logs are **byte-identical**: the transport is invisible in the
    decisions, which is the service contract the property tests pin down,
 4. shows the structured error envelopes: a malformed request, an unknown
-   session, and the ``ADMISSION_REJECTED`` session-cap rejection.
+   session, and the ``ADMISSION_REJECTED`` session-cap rejection,
+5. runs a protocol-v2 **pipeline**: a show→star→show gesture in one
+   request (``"$prev"`` chains the star to the show's hypothesis) whose
+   decision log is again byte-identical to the serial in-process run,
+6. subscribes to the **server-push event channel**
+   (``GET /v1/events/{session}``) and observes a gauge event for every
+   wealth-spending show — no more ``wealth`` polling.
 
 CI runs this exact script as its end-to-end API smoke job.
 """
@@ -28,6 +34,7 @@ import os
 import re
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -190,6 +197,52 @@ def main() -> None:
                 raise SystemExit("session cap was not enforced!")
             client.close_session(second)
             client.close_session(sid)
+
+            print("\n=== 5. protocol v2: a show→star→show pipeline in one "
+                  "request ===")
+            pipe_sid = client.create_session("census")
+            result = (client.pipeline(pipe_sid)
+                      .show("education", where=Eq("sex", "Female"))
+                      .star()                      # "$prev": the show's hyp
+                      .show("age", where=Eq("sex", "Female"))
+                      .execute(raise_on_error=True))
+            print(f"  1 round trip, {len(result)} slots, "
+                  f"starred hypothesis "
+                  f"{result[1]['hypothesis']['id']}")
+            pipeline_log = client.decision_log_bytes(pipe_sid)
+
+            twin = SessionManager()
+            twin.register_dataset(make_census(ROWS, seed=SEED), name="census")
+            twin_sid = twin.create_session("census")
+            twin.show(twin_sid, "education", where=Eq("sex", "Female"))
+            twin.star(twin_sid, 1)
+            twin.show(twin_sid, "age", where=Eq("sex", "Female"))
+            identical = pipeline_log == twin.decision_log_bytes(twin_sid)
+            print(f"  pipeline log == serial in-process log: {identical}")
+            if not identical:
+                raise SystemExit("pipelining changed a decision!")
+
+            print("\n=== 6. server-push gauge events (SSE) ===")
+            events: list[dict] = []
+            stream = client.events(pipe_sid, timeout=30)
+            frames = iter(stream)
+            events.append(next(frames))  # hello: subscription is live
+            collector = threading.Thread(
+                target=lambda: events.extend(frames))
+            collector.start()
+            client.show(pipe_sid, "hours_per_week",
+                        where=Eq("sex", "Female"))  # spends wealth
+            client.close_session(pipe_sid)          # terminates the stream
+            collector.join(timeout=30)
+            stream.close()
+            types = [event["type"] for event in events]
+            print(f"  events observed: {types}")
+            gauges = [e for e in events if e["type"] == "gauge"]
+            if not gauges or types[-1] != "end":
+                raise SystemExit("event stream missed the gauge or the end!")
+            print(f"  gauge after the show: wealth={gauges[-1]['wealth']:.4f} "
+                  f"({gauges[-1]['num_discoveries']} discoveries)")
+
             print("\nbyte-identical over the wire — the API mediates every "
                   "adaptive query without touching a single decision")
     finally:

@@ -1,11 +1,22 @@
 """Stdlib-only asyncio HTTP front end for the wire protocol.
 
-One route does the work: ``POST /v1/command`` takes a protocol request
-body (see :mod:`repro.api.protocol`) and returns its response envelope.
-``GET /healthz`` serves liveness probes.  There is deliberately no REST
-resource modelling — the protocol is the API, HTTP is just the transport,
-and the same envelopes flow unchanged through in-process ``handle()``
-calls (which is what the serial-vs-HTTP byte-equivalence tests rely on).
+Three routes:
+
+* ``POST /v1/command`` — takes a protocol request body (v1 or v2, single
+  command or pipeline envelope; see :mod:`repro.api.protocol`) and
+  returns its response envelope;
+* ``GET /v1/events/{session}`` — the server-push channel: an SSE stream
+  (``text/event-stream``, ``Connection: close``) of the session's
+  ``gauge``/``decision`` events, terminated by an ``end`` event when the
+  session closes or is evicted.  Subscribing to an unknown session
+  answers the usual ``SESSION``/``SESSION_EVICTED`` JSON envelope;
+* ``GET /healthz`` — liveness plus occupancy: session count and cap,
+  per-dataset session counts, eviction counters and retained tombstones.
+
+There is deliberately no REST resource modelling — the protocol is the
+API, HTTP is just the transport, and the same envelopes flow unchanged
+through in-process ``handle()`` calls (which is what the serial-vs-HTTP
+byte-equivalence tests rely on).
 
 Implementation notes:
 
@@ -33,26 +44,37 @@ from __future__ import annotations
 
 import asyncio
 import json
+import queue
 import threading
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.api.protocol import PROTOCOL_VERSION, Response
 from repro.api.service import ExplorationService
 
-__all__ = ["ApiHttpServer", "ServerThread", "STATUS_FOR_CODE", "serve_forever"]
+__all__ = ["ApiHttpServer", "ServerThread", "STATUS_FOR_CODE", "serve_forever",
+           "EVENTS_PATH_PREFIX"]
 
 #: Envelope error code -> HTTP status.  Anything unlisted is a 400.
 STATUS_FOR_CODE = {
     "ADMISSION_REJECTED": 429,
     "WEALTH_EXHAUSTED": 409,
     "SESSION": 404,
+    "SESSION_EVICTED": 410,
     "UNKNOWN_PROCEDURE": 404,
     "INTERNAL": 500,
 }
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 409: "Conflict",
+            405: "Method Not Allowed", 409: "Conflict", 410: "Gone",
             413: "Payload Too Large", 429: "Too Many Requests",
             500: "Internal Server Error"}
+
+#: Route prefix of the server-push event channel.
+EVENTS_PATH_PREFIX = "/v1/events/"
+
+#: Thread cap for the dedicated SSE-wait executor (each live stream parks
+#: one mostly-blocked thread; beyond this, new streams wait for a slot).
+_MAX_EVENT_STREAMS = 256
 
 #: Request bodies above this are refused (413) before buffering completes.
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -75,11 +97,29 @@ class ApiHttpServer:
         service: ExplorationService,
         host: str = "127.0.0.1",
         port: int = 8765,
+        event_heartbeat_s: float = 15.0,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        #: Idle interval after which an SSE stream emits a comment frame
+        #: (keeps proxies from timing the stream out, and lets the server
+        #: notice a dead client via the failed write).
+        self.event_heartbeat_s = event_heartbeat_s
         self._server: asyncio.AbstractServer | None = None
+        self._events_executor: ThreadPoolExecutor | None = None
+
+    def _events_pool(self) -> ThreadPoolExecutor:
+        """Lazy executor for SSE queue waits — kept separate from the
+        default executor so parked subscriber threads (mostly blocked,
+        up to ``event_heartbeat_s`` per tick) never starve command
+        dispatch.  Sized to the scale the admission cap allows."""
+        if self._events_executor is None:
+            self._events_executor = ThreadPoolExecutor(
+                max_workers=_MAX_EVENT_STREAMS,
+                thread_name_prefix="repro-sse",
+            )
+        return self._events_executor
 
     async def start(self) -> None:
         """Bind and start accepting connections."""
@@ -98,6 +138,11 @@ class ApiHttpServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._events_executor is not None:
+            # Don't wait: parked subscriber threads wake within one
+            # heartbeat and are daemonic to the pool's shutdown.
+            self._events_executor.shutdown(wait=False, cancel_futures=True)
+            self._events_executor = None
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled."""
@@ -118,6 +163,13 @@ class ApiHttpServer:
                 if request is None:
                     break
                 method, path, version, headers, body = request
+                if method == "GET" and path.startswith(EVENTS_PATH_PREFIX):
+                    # The event stream owns the connection until it ends;
+                    # it is always Connection: close.
+                    await self._serve_events(
+                        writer, path[len(EVENTS_PATH_PREFIX):]
+                    )
+                    break
                 status, payload = await self._route(method, path, body)
                 # RFC 7230: connection options are case-insensitive, and
                 # HTTP/1.0 defaults to close unless keep-alive is asked for.
@@ -186,15 +238,10 @@ class ApiHttpServer:
         if path == "/healthz":
             if method != "GET":
                 return 405, _protocol_error("healthz is GET-only")
-            return 200, {
-                "v": PROTOCOL_VERSION,
-                "ok": True,
-                "result": {
-                    "status": "healthy",
-                    "sessions": len(self.service.manager.session_ids()),
-                    "datasets": list(self.service.manager.dataset_names()),
-                },
-            }
+            # stats() takes per-session locks and sweeps idle sessions:
+            # off the loop, like any other service work.
+            loop = asyncio.get_running_loop()
+            return 200, await loop.run_in_executor(None, self._healthz)
         if path != "/v1/command":
             return 404, _protocol_error(f"no route {path!r}; POST /v1/command")
         if method != "POST":
@@ -210,6 +257,102 @@ class ApiHttpServer:
             None, self.service.handle_dict, request
         )
         return _status_for(envelope), envelope
+
+    def _healthz(self) -> dict:
+        """The liveness/occupancy payload (runs on the executor).
+
+        More than a bare ok: occupancy against the session cap,
+        per-dataset session counts (every registered dataset reported,
+        including empty ones) and the eviction/tombstone counters — the
+        numbers an operator needs to see QoS policies working.
+        """
+        service = self.service
+        stats = service.manager.stats()  # sweeps idle sessions first
+        datasets = {name: 0 for name in service.manager.dataset_names()}
+        datasets.update(stats.sessions_per_dataset)
+        return {
+            "v": PROTOCOL_VERSION,
+            "ok": True,
+            "result": {
+                "status": "healthy",
+                "sessions": stats.sessions,
+                "max_sessions": service.max_sessions,
+                "occupancy": service.occupancy(sessions=stats.sessions),
+                "admission_policy": service.admission_policy,
+                "datasets": datasets,
+                "evictions": {"idle": stats.evictions_idle,
+                              "capacity": stats.evictions_capacity},
+                "tombstones": stats.tombstones,
+                "event_subscribers":
+                    service.manager.events.subscriber_count(),
+            },
+        }
+
+    # -- the event stream ----------------------------------------------------
+
+    async def _serve_events(self, writer, session_id: str) -> None:
+        """Stream one session's events as SSE until it ends.
+
+        The subscription is attached *before* the session is validated
+        (and before the first byte is written): if the session closes in
+        the validate-to-stream window, the broker's terminal ``end``
+        event lands in the already-attached queue instead of racing past
+        an unattached subscriber — so a stream, once started, always
+        terminates.  Each SSE frame is ``event: <type>`` + ``data:
+        <json>``; idle periods emit comment heartbeats.
+        """
+        loop = asyncio.get_running_loop()
+        subscription = self.service.manager.events.subscribe(session_id)
+        # Validate through the wealth verb: unknown and evicted sessions
+        # get their usual SESSION / SESSION_EVICTED envelopes (an evicted
+        # session's subscriber still receives the recoverable payload).
+        envelope = await loop.run_in_executor(
+            None,
+            self.service.handle_dict,
+            {"v": PROTOCOL_VERSION, "cmd": "wealth", "session_id": session_id},
+        )
+        if not envelope.get("ok"):
+            subscription.close()
+            await self._write_response(
+                writer, _status_for(envelope), envelope, False
+            )
+            return
+        try:
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1"))
+            # A hello frame carrying the current gauge: subscribers render
+            # the gauge immediately instead of waiting for the next spend.
+            writer.write(_sse_frame({
+                "type": "hello",
+                "session_id": session_id,
+                "gauge": envelope["result"],
+            }))
+            await writer.drain()
+            while True:
+                try:
+                    # Dedicated executor: each stream parks a thread in a
+                    # blocking get(); on the default executor those parked
+                    # threads would starve POST /v1/command dispatch.
+                    event = await loop.run_in_executor(
+                        self._events_pool(), subscription.get,
+                        self.event_heartbeat_s
+                    )
+                except queue.Empty:
+                    writer.write(b": keep-alive\n\n")
+                    await writer.drain()
+                    continue
+                writer.write(_sse_frame(event))
+                await writer.drain()
+                if event.get("type") == "end":
+                    return
+        finally:
+            subscription.close()
 
     async def _write_response(
         self, writer, status: int, payload: dict, keep_alive: bool
@@ -239,6 +382,12 @@ def _protocol_error(message: str) -> dict:
     return Response.failure("PROTOCOL", message).to_dict()
 
 
+def _sse_frame(event: dict) -> bytes:
+    """One Server-Sent-Events frame for *event* (typed + JSON data line)."""
+    kind = str(event.get("type", "message"))
+    return f"event: {kind}\ndata: {json.dumps(event)}\n\n".encode("utf-8")
+
+
 class ServerThread:
     """Run an :class:`ApiHttpServer` on a daemon thread (tests/benchmarks).
 
@@ -254,8 +403,10 @@ class ServerThread:
         service: ExplorationService,
         host: str = "127.0.0.1",
         port: int = 0,
+        event_heartbeat_s: float = 15.0,
     ) -> None:
-        self.server = ApiHttpServer(service, host=host, port=port)
+        self.server = ApiHttpServer(service, host=host, port=port,
+                                    event_heartbeat_s=event_heartbeat_s)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
@@ -304,16 +455,18 @@ class ServerThread:
 
 def serve_forever(
     service: ExplorationService, host: str = "127.0.0.1", port: int = 8765,
-    announce=print,
+    announce=print, event_heartbeat_s: float = 15.0,
 ) -> None:
     """Blocking convenience used by ``repro serve``: serve until Ctrl-C."""
-    server = ApiHttpServer(service, host=host, port=port)
+    server = ApiHttpServer(service, host=host, port=port,
+                           event_heartbeat_s=event_heartbeat_s)
 
     async def _main() -> None:
         await server.start()
         announce(
             f"repro API v{PROTOCOL_VERSION} serving on "
-            f"http://{server.host}:{server.port} (POST /v1/command; Ctrl-C stops)"
+            f"http://{server.host}:{server.port} "
+            f"(POST /v1/command, GET /v1/events/{{session}}; Ctrl-C stops)"
         )
         await server.serve_forever()
 

@@ -19,16 +19,43 @@ transport-agnostic half of that boundary:
 
 Wire format (JSON)::
 
-    request:  {"v": 1, "cmd": "show", "session_id": "s0001",
+    request:  {"v": 2, "cmd": "show", "session_id": "s0001",
                "attribute": "salary", "where": {"op": "eq", ...}}
-    success:  {"v": 1, "ok": true, "result": {...}}
-    failure:  {"v": 1, "ok": false,
+    success:  {"v": 2, "ok": true, "result": {...}}
+    failure:  {"v": 2, "ok": false,
                "error": {"code": "WEALTH_EXHAUSTED", "message": "...",
                          "details": {...}}}
 
+Protocol v2 adds three things on top of the v1 verbs (which parse
+unchanged — see *Version negotiation* below):
+
+* the **pipeline envelope**: one request carrying an ordered list of
+  commands with per-command result-or-error slots, a declared failure
+  policy, and ``"$prev"`` hypothesis-id substitution::
+
+      {"v": 2, "cmd": "pipeline", "failure_policy": "abort_on_error",
+       "commands": [
+         {"cmd": "show", "session_id": "s0001", "attribute": "age",
+          "where": {...}},
+         {"cmd": "star", "session_id": "s0001", "hypothesis_id": "$prev"},
+         {"cmd": "show", "session_id": "s0001", "attribute": "salary"}]}
+
+  Inner commands inherit the envelope's ``v`` (stating it is allowed but
+  it must match); nesting pipelines is rejected.
+* **idempotency keys**: any mutating command may carry an ``idem`` token;
+  the service replays the recorded response for a token it has already
+  executed, which is what makes retrying mutations after a connection
+  failure safe (no α-wealth double-spend).
+* the server-push **event channel** (``GET /v1/events/{session}``) whose
+  payloads are JSON events, not envelopes — see :mod:`repro.api.http`.
+
 Version negotiation is strict: a request without ``v``, or with a version
 this build does not speak, is rejected with ``PROTOCOL`` before any
-dispatch happens — version skew fails loudly, never silently.
+dispatch happens — version skew fails loudly, never silently.  Both v1
+and v2 single-command requests are accepted (``SUPPORTED_VERSIONS``);
+v2-only features (``pipeline``, ``idem``, ``"$prev"``) inside a request
+that declares ``"v": 1`` are rejected, and responses echo the request's
+version so v1 clients keep seeing v1 envelopes.
 """
 
 from __future__ import annotations
@@ -48,6 +75,7 @@ from repro.errors import (
     ReproError,
     SchemaError,
     SessionError,
+    SessionEvictedError,
     UnknownProcedureError,
     WealthExhaustedError,
 )
@@ -64,8 +92,13 @@ from repro.exploration.predicate import (
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "PREV",
+    "FAILURE_POLICIES",
+    "MAX_PIPELINE_COMMANDS",
     "ERROR_CODES",
     "Command",
+    "Pipeline",
     "CreateSession",
     "Show",
     "Star",
@@ -90,9 +123,27 @@ __all__ = [
     "READ_ONLY_COMMANDS",
 ]
 
-#: The protocol version this build speaks.  Bump on any breaking change to
-#: a command's fields, a response payload, or the predicate codec.
-PROTOCOL_VERSION = 1
+#: The newest protocol version this build speaks.  Bump on any breaking
+#: change to a command's fields, a response payload, or the predicate codec.
+PROTOCOL_VERSION = 2
+
+#: Every version this build accepts.  v1 single-command requests parse
+#: unchanged (compatibility shim); anything else is rejected loudly.
+SUPPORTED_VERSIONS: frozenset[int] = frozenset({1, 2})
+
+#: Cross-command reference token (v2): a ``hypothesis_id`` of ``"$prev"``
+#: inside a pipeline resolves to the hypothesis id produced by the nearest
+#: earlier successful command (a show's tracked hypothesis, a star/unstar's
+#: hypothesis, or a revision's ``revised_id``).
+PREV = "$prev"
+
+#: Pipeline failure policies: ``abort_on_error`` marks every slot after the
+#: first failure ``NOT_EXECUTED``; ``continue`` executes all slots anyway.
+FAILURE_POLICIES: tuple[str, ...] = ("abort_on_error", "continue")
+
+#: Hard bound on commands per pipeline envelope (one request must not
+#: smuggle unbounded work past admission control).
+MAX_PIPELINE_COMMANDS = 64
 
 # ---------------------------------------------------------------------------
 # Error envelope vocabulary
@@ -110,6 +161,7 @@ ERROR_CODES: tuple[tuple[type, str], ...] = (
     (InsufficientDataError, "INSUFFICIENT_DATA"),
     (PredicateError, "PREDICATE"),
     (SchemaError, "SCHEMA"),
+    (SessionEvictedError, "SESSION_EVICTED"),
     (SessionError, "SESSION"),
     (InvalidParameterError, "INVALID_PARAMETER"),
     (ReproError, "REPRO_ERROR"),
@@ -308,14 +360,17 @@ class Command:
     """Base class for every wire command.
 
     Subclasses are frozen dataclasses whose fields *are* the wire schema;
-    ``cmd`` (class attribute) names the verb on the wire and ``v`` carries
-    the protocol version.
+    ``cmd`` (class attribute) names the verb on the wire, ``v`` carries
+    the protocol version, and ``idem`` (v2, optional) is the command's
+    idempotency token: the service records the response of the first
+    execution and replays it for any retry carrying the same token.
     """
 
     #: Wire verb; subclasses override.
     cmd = "command"
 
     v: int = field(default=PROTOCOL_VERSION, kw_only=True)
+    idem: str | None = field(default=None, kw_only=True)
 
 
 @dataclass(frozen=True)
@@ -439,12 +494,32 @@ class Stats(Command):
     session_id: str | None = None
 
 
+@dataclass(frozen=True)
+class Pipeline(Command):
+    """The v2 batch envelope: an ordered list of commands in one request.
+
+    Commands execute strictly in list order (under the session lock when
+    they all target one session), each filling its own result-or-error
+    slot; *failure_policy* decides whether a failed slot aborts the rest
+    (``abort_on_error`` → later slots report ``NOT_EXECUTED``) or not
+    (``continue``).  Decision logs are byte-identical to issuing the same
+    commands serially — the envelope saves round trips, never changes
+    decisions.
+    """
+
+    cmd = "pipeline"
+
+    commands: tuple[Command, ...]
+    failure_policy: str = "abort_on_error"
+
+
 #: Wire verb -> command class.
 COMMANDS: dict[str, type[Command]] = {
     cls.cmd: cls
     for cls in (
         CreateSession, Show, Star, Unstar, Override, DeleteHypothesis,
         Wealth, DecisionLog, Export, CloseSession, ListDatasets, Stats,
+        Pipeline,
     )
 }
 
@@ -458,19 +533,51 @@ READ_ONLY_COMMANDS: frozenset[str] = frozenset(
 
 
 def command_to_dict(command: Command) -> dict:
-    """Flat wire form of a command: ``{"v": ..., "cmd": ..., <fields>}``."""
+    """Flat wire form of a command: ``{"v": ..., "cmd": ..., <fields>}``.
+
+    ``idem`` is emitted only when set (and only under v2); pipeline
+    envelopes serialize their inner commands *without* a ``v`` field —
+    inner commands always inherit the envelope's version.
+    """
     if type(command) not in COMMANDS.values():
         raise ProtocolError(f"{type(command).__name__} is not a wire command")
+    if command.idem is not None and command.v < 2:
+        raise ProtocolError("'idem' tokens require protocol v2")
     payload: dict[str, Any] = {"v": command.v, "cmd": command.cmd}
-    for f in dataclasses.fields(command):
-        if f.name == "v":
-            continue
-        value = getattr(command, f.name)
-        if isinstance(value, Predicate):
-            value = predicate_to_dict(value)
-        elif f.name == "procedure_kwargs":
-            value = dict(value)
-        payload[f.name] = value
+    if isinstance(command, Pipeline):
+        if command.v < 2:
+            raise ProtocolError("'pipeline' requires protocol v2")
+        if command.failure_policy not in FAILURE_POLICIES:
+            raise ProtocolError(
+                f"unknown failure_policy {command.failure_policy!r}; "
+                f"known: {list(FAILURE_POLICIES)}"
+            )
+        inner_dicts = []
+        for index, inner in enumerate(command.commands):
+            if isinstance(inner, Pipeline):
+                raise ProtocolError("pipelines cannot be nested")
+            if inner.v != command.v:
+                raise ProtocolError(
+                    f"pipeline command #{index} declares v{inner.v}, "
+                    f"envelope declares v{command.v}"
+                )
+            inner_payload = command_to_dict(inner)
+            del inner_payload["v"]
+            inner_dicts.append(inner_payload)
+        payload["commands"] = inner_dicts
+        payload["failure_policy"] = command.failure_policy
+    else:
+        for f in dataclasses.fields(command):
+            if f.name in ("v", "idem"):
+                continue
+            value = getattr(command, f.name)
+            if isinstance(value, Predicate):
+                value = predicate_to_dict(value)
+            elif f.name == "procedure_kwargs":
+                value = dict(value)
+            payload[f.name] = value
+    if command.idem is not None:
+        payload["idem"] = command.idem
     return payload
 
 
@@ -486,10 +593,21 @@ _FIELD_TYPES: dict[str, tuple[tuple[type, ...], bool]] = {
     "bins": ((int,), True),
     "descriptive": ((bool,), False),
     "procedure_kwargs": ((Mapping,), False),
+    "idem": ((str,), True),
 }
 
 
-def _check_field_type(verb: str, key: str, value: Any) -> None:
+def _check_field_type(verb: str, key: str, value: Any, version: int) -> None:
+    if key == "hypothesis_id" and isinstance(value, str):
+        # v2 cross-command reference: the one string a hypothesis-id
+        # field may carry is the literal "$prev" token.
+        if version >= 2 and value == PREV:
+            return
+        raise ProtocolError(
+            f"command {verb!r}: field 'hypothesis_id' must be int"
+            + (f" or the string {PREV!r}" if version >= 2 else "")
+            + f", got {value!r}"
+        )
     spec = _FIELD_TYPES.get(key)
     if spec is None:
         return
@@ -512,24 +630,37 @@ def _check_field_type(verb: str, key: str, value: Any) -> None:
 def command_from_dict(payload: Mapping[str, Any]) -> Command:
     """Parse and validate one wire request into a typed command.
 
-    Strict on three axes: the version must be one this build speaks, the
-    verb must be known, and the fields must exactly fit the command's
-    schema (unknown fields are rejected — silent drift between client and
-    server versions is the failure mode this protocol exists to prevent).
+    Strict on three axes: the version must be one this build speaks
+    (:data:`SUPPORTED_VERSIONS` — the v1 compatibility shim lives here),
+    the verb must be known, and the fields must exactly fit the command's
+    schema *for that version* (unknown fields are rejected, and so are v2
+    features — ``pipeline``, ``idem``, ``"$prev"`` — inside a request that
+    declares ``"v": 1``; silent drift between client and server versions
+    is the failure mode this protocol exists to prevent).
     """
     if not isinstance(payload, Mapping):
         raise ProtocolError("request must be a JSON object")
     if "v" not in payload:
         raise ProtocolError("request is missing the protocol version field 'v'")
+    raw_version = payload["v"]
+    if isinstance(raw_version, bool):
+        raise ProtocolError(f"bad protocol version: {raw_version!r}")
     try:
-        version = int(payload["v"])
+        version = int(raw_version)
     except (TypeError, ValueError):
-        raise ProtocolError(f"bad protocol version: {payload['v']!r}") from None
-    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"bad protocol version: {raw_version!r}") from None
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
-            f"unsupported protocol version {version}; "
-            f"this build speaks v{PROTOCOL_VERSION}"
+            f"unsupported protocol version {version}; this build speaks "
+            f"{', '.join(f'v{v}' for v in sorted(SUPPORTED_VERSIONS))}"
         )
+    return _command_from_fields(payload, version, nested=False)
+
+
+def _command_from_fields(
+    payload: Mapping[str, Any], version: int, nested: bool
+) -> Command:
+    """Parse one verb's fields (version already validated by the caller)."""
     verb = payload.get("cmd")
     if not isinstance(verb, str):
         raise ProtocolError(f"'cmd' must be a string, got {type(verb).__name__}")
@@ -538,14 +669,26 @@ def command_from_dict(payload: Mapping[str, Any]) -> Command:
         raise ProtocolError(
             f"unknown command {verb!r}; known: {sorted(COMMANDS)}"
         )
+    if cls is Pipeline:
+        if nested:
+            raise ProtocolError("pipelines cannot be nested")
+        if version < 2:
+            raise ProtocolError(
+                "'pipeline' requires protocol v2; this request declares v1"
+            )
+        return _pipeline_from_dict(payload, version)
     known = {f.name for f in dataclasses.fields(cls)}
     kwargs: dict[str, Any] = {}
     for key, value in payload.items():
         if key in ("v", "cmd"):
             continue
+        if key == "idem" and version < 2:
+            raise ProtocolError(
+                f"command {verb!r}: 'idem' tokens require protocol v2"
+            )
         if key not in known:
             raise ProtocolError(f"command {verb!r} has no field {key!r}")
-        _check_field_type(verb, key, value)
+        _check_field_type(verb, key, value, version)
         if key == "where" and value is not None:
             value = predicate_from_dict(value)
         kwargs[key] = value
@@ -553,3 +696,46 @@ def command_from_dict(payload: Mapping[str, Any]) -> Command:
         return cls(v=version, **kwargs)
     except TypeError as exc:
         raise ProtocolError(f"command {verb!r}: {exc}") from None
+
+
+def _pipeline_from_dict(payload: Mapping[str, Any], version: int) -> Pipeline:
+    """Parse the v2 pipeline envelope (strict, like every other verb)."""
+    allowed = {"v", "cmd", "commands", "failure_policy", "idem"}
+    for key in payload:
+        if key not in allowed:
+            raise ProtocolError(f"command 'pipeline' has no field {key!r}")
+    policy = payload.get("failure_policy", "abort_on_error")
+    if policy not in FAILURE_POLICIES:
+        raise ProtocolError(
+            f"unknown failure_policy {policy!r}; known: {list(FAILURE_POLICIES)}"
+        )
+    idem = payload.get("idem")
+    if idem is not None and not isinstance(idem, str):
+        raise ProtocolError("'idem' must be a string")
+    raw_commands = payload.get("commands")
+    if not isinstance(raw_commands, (list, tuple)) or not raw_commands:
+        raise ProtocolError("'pipeline' needs a non-empty list of commands")
+    if len(raw_commands) > MAX_PIPELINE_COMMANDS:
+        raise ProtocolError(
+            f"pipeline carries {len(raw_commands)} commands; "
+            f"the limit is {MAX_PIPELINE_COMMANDS}"
+        )
+    commands: list[Command] = []
+    for index, inner in enumerate(raw_commands):
+        if not isinstance(inner, Mapping):
+            raise ProtocolError(
+                f"pipeline command #{index} must be a JSON object"
+            )
+        if "v" in inner:
+            inner_version = inner["v"]
+            if isinstance(inner_version, bool) or inner_version != version:
+                raise ProtocolError(
+                    f"pipeline command #{index} declares v{inner_version!r}, "
+                    f"envelope declares v{version}"
+                )
+        try:
+            commands.append(_command_from_fields(inner, version, nested=True))
+        except ProtocolError as exc:
+            raise ProtocolError(f"pipeline command #{index}: {exc}") from None
+    return Pipeline(commands=tuple(commands), failure_policy=policy,
+                    v=version, idem=idem)

@@ -20,6 +20,27 @@ Two admission-control rules live here, not in the statistics layer:
   exploring"); ``descriptive=True`` panels spend no wealth and are still
   served, as are reads (wealth/log/export/stats) and revisions.
 
+Protocol v2 adds three service-side behaviours:
+
+* **Pipelines** — a ``pipeline`` envelope executes its commands strictly
+  in list order on the calling thread; when every command targets one
+  session, the whole envelope runs under that session's (re-entrant)
+  lock, so no other client's verb can interleave and the decision log is
+  byte-identical to issuing the commands serially.  Each command fills a
+  result-or-error slot; under ``abort_on_error`` the slots after the
+  first failure report ``NOT_EXECUTED``.
+* **Idempotency keys** — a command carrying an ``idem`` token has its
+  *successful* response recorded in a bounded LRU; a retry with the same
+  token replays the recorded response instead of re-executing, so
+  clients may safely resend mutating verbs after a connection failure
+  (no α-wealth double-spend).  Failed executions are not recorded — they
+  mutated nothing, so re-executing them is harmless and lets transient
+  failures clear.
+* **Lifecycle QoS** — ``admission_policy="evict-exhausted"`` lets an
+  at-cap ``create_session`` reclaim a wealth-exhausted session through
+  :meth:`SessionManager.evict_for_capacity` (the evictee keeps a
+  tombstone; see the manager's lifecycle contract) before rejecting.
+
 Every :class:`~repro.errors.ReproError` raised below this boundary maps to
 a stable error code; unexpected exceptions become an opaque ``INTERNAL``
 envelope.  Raw tracebacks never cross the wire.
@@ -27,8 +48,11 @@ envelope.  Raw tracebacks never cross the wire.
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import math
 import threading
+from collections import OrderedDict
 from typing import Any, Callable, Mapping
 
 from repro.errors import (
@@ -41,7 +65,8 @@ from repro.exploration.export import clean_float, hypothesis_to_dict
 from repro.exploration.session import ViewResult
 from repro.service.manager import SessionManager
 from repro.api.protocol import (
-    PROTOCOL_VERSION,
+    PREV,
+    SUPPORTED_VERSIONS,
     CloseSession,
     Command,
     CreateSession,
@@ -50,6 +75,7 @@ from repro.api.protocol import (
     Export,
     ListDatasets,
     Override,
+    Pipeline,
     Response,
     Show,
     Star,
@@ -61,10 +87,22 @@ from repro.api.protocol import (
     predicate_to_dict,
 )
 
-__all__ = ["ExplorationService", "DEFAULT_MAX_SESSIONS"]
+__all__ = [
+    "ExplorationService",
+    "DEFAULT_MAX_SESSIONS",
+    "DEFAULT_IDEM_CACHE_SIZE",
+    "ADMISSION_POLICIES",
+]
 
 #: Default per-service cap on concurrently open sessions.
 DEFAULT_MAX_SESSIONS = 256
+
+#: Default bound on recorded idempotent responses (LRU, oldest dropped).
+DEFAULT_IDEM_CACHE_SIZE = 1024
+
+#: What an at-cap ``create_session`` may do: flat-reject, or reclaim a
+#: wealth-exhausted session first (wealth-aware priority eviction).
+ADMISSION_POLICIES: tuple[str, ...] = ("reject", "evict-exhausted")
 
 
 class ExplorationService:
@@ -78,19 +116,39 @@ class ExplorationService:
     max_sessions:
         Admission-control cap on concurrently open sessions (``None``
         disables the cap — benchmarks only, never production).
+    admission_policy:
+        ``"reject"`` (default) answers an at-cap ``create_session`` with
+        ``ADMISSION_REJECTED``; ``"evict-exhausted"`` first tries to
+        reclaim a wealth-exhausted session (tombstoned, recoverable).
+    idem_cache_size:
+        Bound on recorded idempotent responses.
     """
 
     def __init__(
         self,
         manager: SessionManager | None = None,
         max_sessions: int | None = DEFAULT_MAX_SESSIONS,
+        admission_policy: str = "reject",
+        idem_cache_size: int = DEFAULT_IDEM_CACHE_SIZE,
     ) -> None:
         if max_sessions is not None and max_sessions < 1:
             raise InvalidParameterError(
                 f"max_sessions must be >= 1 or None, got {max_sessions}"
             )
+        if admission_policy not in ADMISSION_POLICIES:
+            raise InvalidParameterError(
+                f"admission_policy must be one of {ADMISSION_POLICIES}, "
+                f"got {admission_policy!r}"
+            )
+        if idem_cache_size < 1:
+            raise InvalidParameterError("idem_cache_size must be >= 1")
         self.manager = manager if manager is not None else SessionManager()
         self.max_sessions = max_sessions
+        self.admission_policy = admission_policy
+        self._idem_cache_size = idem_cache_size
+        self._idem_cache: OrderedDict[str, Response] = OrderedDict()
+        self._idem_lock = threading.Lock()
+        self._idem_replays = 0
         # create_session admission check + create must be atomic or two
         # racing creates could both pass the cap probe.
         self._admission_lock = threading.Lock()
@@ -124,24 +182,72 @@ class ExplorationService:
         Accepts a typed :class:`Command` or its raw wire ``dict``.  Never
         raises for request-shaped problems: protocol violations, library
         errors and internal failures all come back as error envelopes.
+        The response echoes the request's protocol version, so a v1
+        client keeps receiving v1 envelopes unchanged.
         """
         try:
             if isinstance(request, Command):
                 command = request
-                if command.v != PROTOCOL_VERSION:
+                if command.v not in SUPPORTED_VERSIONS:
                     raise ProtocolError(
-                        f"unsupported protocol version {command.v}; "
-                        f"this build speaks v{PROTOCOL_VERSION}"
+                        f"unsupported protocol version {command.v}; this build "
+                        f"speaks "
+                        f"{', '.join(f'v{v}' for v in sorted(SUPPORTED_VERSIONS))}"
                     )
             else:
                 command = command_from_dict(request)
         except ReproError as exc:
             return Response.from_exception(exc)
-        handler = self._handlers.get(type(command))
-        if handler is None:  # a Command subclass not wired into the table
-            return Response.failure(
-                "PROTOCOL", f"command {type(command).__name__} is not dispatchable"
-            )
+        response = self._execute(command)
+        if response.v != command.v:
+            response = dataclasses.replace(response, v=command.v)
+        return response
+
+    def handle_dict(self, request: Mapping[str, Any]) -> dict:
+        """Wire-level convenience: dict in, envelope dict out."""
+        return self.handle(request).to_dict()
+
+    # -- execution core ------------------------------------------------------
+
+    def _execute(self, command: Command) -> Response:
+        """Idempotency-aware execution of one (already validated) command."""
+        idem = command.idem
+        if idem is not None:
+            with self._idem_lock:
+                cached = self._idem_cache.get(idem)
+                if cached is not None:
+                    self._idem_cache.move_to_end(idem)
+                    self._idem_replays += 1
+                    return cached
+        response = self._dispatch(command)
+        # Record only successes: a failed command mutated nothing (shows
+        # raise before any wealth is spent), so re-executing a retry is
+        # harmless and lets transient conditions clear instead of pinning
+        # the first failure forever.
+        if idem is not None and response.ok:
+            with self._idem_lock:
+                self._idem_cache[idem] = response
+                while len(self._idem_cache) > self._idem_cache_size:
+                    self._idem_cache.popitem(last=False)
+        return response
+
+    def _dispatch(self, command: Command) -> Response:
+        """Route one command to its handler; exceptions become envelopes."""
+        if isinstance(command, Pipeline):
+            handler: Callable[[Any], dict] = self._pipeline
+        else:
+            if getattr(command, "hypothesis_id", None) == PREV:
+                return Response.failure(
+                    "PROTOCOL",
+                    f"{PREV!r} is only meaningful inside a pipeline",
+                )
+            maybe = self._handlers.get(type(command))
+            if maybe is None:  # a Command subclass not wired into the table
+                return Response.failure(
+                    "PROTOCOL",
+                    f"command {type(command).__name__} is not dispatchable",
+                )
+            handler = maybe
         try:
             return Response.success(handler(command))
         except ReproError as exc:
@@ -149,13 +255,112 @@ class ExplorationService:
         except Exception as exc:  # noqa: BLE001 - boundary: no tracebacks on the wire
             return Response.from_exception(exc)
 
-    def handle_dict(self, request: Mapping[str, Any]) -> dict:
-        """Wire-level convenience: dict in, envelope dict out."""
-        return self.handle(request).to_dict()
+    # -- pipeline execution --------------------------------------------------
+
+    def _pipeline(self, pipe: Pipeline) -> dict:
+        """Execute a pipeline envelope; returns the slots payload.
+
+        Commands run strictly in list order on this thread.  When every
+        command addresses one existing session, its (re-entrant) lock is
+        held across the whole envelope, so the chain is one critical
+        section — submission order within the pipeline *and* against
+        concurrent clients, which is what keeps the decision log
+        byte-identical to the serial equivalent.
+        """
+        slots: list[dict] = []
+        executed = 0
+        prev_hypothesis: int | None = None
+        aborted_at: int | None = None
+        with self._pipeline_lock(pipe):
+            for index, command in enumerate(pipe.commands):
+                if aborted_at is not None:
+                    slots.append(Response.failure(
+                        "NOT_EXECUTED",
+                        f"not executed: command #{aborted_at} failed under "
+                        f"abort_on_error",
+                        {"aborted_by": aborted_at},
+                    ).to_dict())
+                    continue
+                resolved, resolution_error = self._resolve_prev(
+                    command, prev_hypothesis
+                )
+                if resolution_error is not None:
+                    response = resolution_error
+                else:
+                    response = self._execute(resolved)
+                    executed += 1
+                slots.append(response.to_dict())
+                if response.ok:
+                    hyp_id = _result_hypothesis_id(resolved, response.result)
+                    if hyp_id is not None:
+                        prev_hypothesis = hyp_id
+                elif pipe.failure_policy == "abort_on_error":
+                    aborted_at = index
+        return {
+            "slots": slots,
+            "executed": executed,
+            "failure_policy": pipe.failure_policy,
+        }
+
+    def _pipeline_lock(self, pipe: Pipeline):
+        """The session lock to hold across *pipe*, or a no-op context.
+
+        Held only when every command names the same single session and
+        that session currently exists; multi-session (or creating)
+        pipelines execute serially without an outer lock — each verb
+        still takes its own session's lock, so per-session submission
+        order is preserved either way.
+        """
+        session_ids = {
+            getattr(command, "session_id", None) for command in pipe.commands
+        }
+        session_ids.discard(None)
+        if len(session_ids) != 1 or any(
+            isinstance(command, CreateSession) for command in pipe.commands
+        ):
+            return contextlib.nullcontext()
+        try:
+            return self.manager.session_lock(next(iter(session_ids)))
+        except ReproError:
+            # Unknown/evicted session: run unlocked; every slot will fail
+            # with its own proper envelope.
+            return contextlib.nullcontext()
+
+    @staticmethod
+    def _resolve_prev(
+        command: Command, prev_hypothesis: int | None
+    ) -> tuple[Command, Response | None]:
+        """Substitute a ``"$prev"`` hypothesis id, or explain why not."""
+        if getattr(command, "hypothesis_id", None) != PREV:
+            return command, None
+        if prev_hypothesis is None:
+            return command, Response.failure(
+                "PROTOCOL",
+                f"{PREV!r} used before any pipeline command produced a "
+                f"hypothesis id",
+            )
+        return (
+            dataclasses.replace(command, hypothesis_id=prev_hypothesis),
+            None,
+        )
 
     # -- verb implementations ------------------------------------------------
 
     def _create_session(self, cmd: CreateSession) -> dict:
+        # Idle sweep first: an expired session must not hold a cap slot.
+        # The wealth-aware reclaim runs *outside* the admission lock (the
+        # eviction takes the victim's session lock; holding the admission
+        # lock across that could deadlock against a pipeline that holds
+        # its session lock while creating a session).  Racing creators
+        # may each reclaim a victim — both then admit, which is fine.
+        self.manager.evict_idle()
+        evicted_for_capacity: str | None = None
+        if (
+            self.max_sessions is not None
+            and self.admission_policy == "evict-exhausted"
+            and len(self.manager.session_ids()) >= self.max_sessions
+        ):
+            evicted_for_capacity = self.manager.evict_for_capacity()
         with self._admission_lock:
             if self.max_sessions is not None:
                 active = len(self.manager.session_ids())
@@ -164,7 +369,8 @@ class ExplorationService:
                         f"session cap reached ({active}/{self.max_sessions}); "
                         "close a session before opening another",
                         {"active_sessions": active,
-                         "max_sessions": self.max_sessions},
+                         "max_sessions": self.max_sessions,
+                         "admission_policy": self.admission_policy},
                     )
             sid = self.manager.create_session(
                 cmd.dataset,
@@ -172,10 +378,14 @@ class ExplorationService:
                 alpha=cmd.alpha,
                 bins=cmd.bins,
                 session_id=cmd.session_id,
+                sweep=False,  # swept above, before taking the admission lock
                 **dict(cmd.procedure_kwargs),
             )
-        return {"session_id": sid, "dataset": cmd.dataset,
-                "procedure": cmd.procedure, "alpha": cmd.alpha}
+        result = {"session_id": sid, "dataset": cmd.dataset,
+                  "procedure": cmd.procedure, "alpha": cmd.alpha}
+        if evicted_for_capacity is not None:
+            result["evicted_for_capacity"] = evicted_for_capacity
+        return result
 
     def _show(self, cmd: Show) -> dict:
         # Wealth admission control (Sec. 5.8) happens *inside* the
@@ -257,7 +467,22 @@ class ExplorationService:
             "hist_cache_misses": svc.hist_cache_misses,
             "shared_cache_hit_rate": svc.shared_cache_hit_rate,
             "max_sessions": self.max_sessions,
+            "admission_policy": self.admission_policy,
+            "occupancy": self.occupancy(sessions=svc.sessions),
+            "sessions_per_dataset": dict(svc.sessions_per_dataset),
+            "evictions": {"idle": svc.evictions_idle,
+                          "capacity": svc.evictions_capacity},
+            "tombstones": svc.tombstones,
+            "idem_replays": self._idem_replays,
         }
+
+    def occupancy(self, sessions: int | None = None) -> float | None:
+        """Occupied fraction of the session cap (``None`` when uncapped)."""
+        if self.max_sessions is None:
+            return None
+        if sessions is None:
+            sessions = len(self.manager.session_ids())
+        return sessions / self.max_sessions
 
     # -- helpers -------------------------------------------------------------
 
@@ -323,6 +548,25 @@ class ExplorationService:
             f"max_sessions={self.max_sessions})"
         )
 
+
+
+def _result_hypothesis_id(
+    command: Command, result: Mapping[str, Any] | None
+) -> int | None:
+    """The hypothesis id a successful command's result names, if any —
+    this is what a later ``"$prev"`` reference in the pipeline resolves
+    to: a show's tracked hypothesis, a star/unstar's hypothesis, or a
+    revision's ``revised_id``."""
+    if result is None:
+        return None
+    if isinstance(command, Show):
+        hypothesis = result.get("hypothesis")
+        return None if hypothesis is None else int(hypothesis["id"])
+    if isinstance(command, (Star, Unstar)):
+        return int(result["hypothesis"]["id"])
+    if isinstance(command, (Override, DeleteHypothesis)):
+        return int(result["revised_id"])
+    return None
 
 
 def _error_details(exc: ReproError) -> dict:

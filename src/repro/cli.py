@@ -96,6 +96,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-sessions", type=int, default=None, metavar="N",
                        help="admission-control session cap; 0 disables the cap "
                             "(default: the service's DEFAULT_MAX_SESSIONS)")
+    serve.add_argument("--idle-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="evict sessions idle longer than this to a "
+                            "recoverable tombstone (default: never)")
+    serve.add_argument("--admission-policy", default="reject",
+                       choices=["reject", "evict-exhausted"],
+                       help="what an at-cap create_session does: flat-reject, "
+                            "or first reclaim a wealth-exhausted session "
+                            "(default: reject)")
+    serve.add_argument("--tombstones", type=int, default=None, metavar="N",
+                       help="how many eviction tombstones to retain "
+                            "(default: the manager's DEFAULT_TOMBSTONE_LIMIT)")
+    serve.add_argument("--event-heartbeat", type=float, default=15.0,
+                       metavar="SECONDS",
+                       help="SSE keep-alive comment interval on "
+                            "/v1/events/{session} (default 15)")
     return parser
 
 
@@ -229,6 +245,7 @@ def _run_serve_sweep(args) -> str:
 def _run_serve(args) -> str:
     from repro.api.http import serve_forever
     from repro.api.service import DEFAULT_MAX_SESSIONS, ExplorationService
+    from repro.service.manager import DEFAULT_TOMBSTONE_LIMIT, SessionManager
     from repro.workloads.census import make_census
 
     if args.max_sessions is None:
@@ -237,14 +254,28 @@ def _run_serve(args) -> str:
         max_sessions = None  # 0 on the CLI = no admission cap
     else:
         max_sessions = args.max_sessions
-    service = ExplorationService(max_sessions=max_sessions)
+    manager = SessionManager(
+        idle_timeout=args.idle_timeout,
+        tombstone_limit=(DEFAULT_TOMBSTONE_LIMIT if args.tombstones is None
+                         else args.tombstones),
+    )
+    service = ExplorationService(
+        manager=manager,
+        max_sessions=max_sessions,
+        admission_policy=args.admission_policy,
+    )
     print(f"generating census dataset ({args.rows} rows, seed {args.seed})...",
           flush=True)
     name = service.register_dataset(make_census(args.rows, seed=args.seed),
                                     name="census")
+    idle = ("never" if args.idle_timeout is None
+            else f"{args.idle_timeout:g}s idle")
     print(f"registered dataset {name!r}; session cap "
-          f"{'unbounded' if max_sessions is None else max_sessions}", flush=True)
-    serve_forever(service, host=args.host, port=args.port)
+          f"{'unbounded' if max_sessions is None else max_sessions}; "
+          f"eviction: {idle}, admission policy {args.admission_policy}",
+          flush=True)
+    serve_forever(service, host=args.host, port=args.port,
+                  event_heartbeat_s=args.event_heartbeat)
     return "server stopped"
 
 

@@ -17,6 +17,7 @@ __all__ = [
     "SchemaError",
     "PredicateError",
     "SessionError",
+    "SessionEvictedError",
     "AdmissionRejectedError",
     "ProtocolError",
 ]
@@ -64,6 +65,18 @@ class PredicateError(ReproError, ValueError):
 
 class SessionError(ReproError, RuntimeError):
     """An AWARE exploration session operation violated its contract."""
+
+
+class SessionEvictedError(SessionError):
+    """The session was evicted by a lifecycle/QoS policy, not closed by its user.
+
+    Eviction is *recoverable*, which is what distinguishes it from a plain
+    :class:`SessionError` 404: the service keeps a bounded tombstone per
+    evicted session whose ``details`` carry the canonical export payload
+    (the ``session_to_dict`` shape), so a client can archive the evidence
+    trail or replay the exploration elsewhere.  The wire protocol maps
+    this to a ``SESSION_EVICTED`` envelope — never a silent not-found.
+    """
 
 
 class AdmissionRejectedError(ReproError, RuntimeError):

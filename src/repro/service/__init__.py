@@ -7,7 +7,9 @@ sharing/isolation contract) and :class:`ScaleSweep` measures the service
 across a (rows × sessions) grid (see :mod:`repro.service.sweep`).
 """
 
+from repro.service.events import EventBroker, Subscription
 from repro.service.manager import (
+    DEFAULT_TOMBSTONE_LIMIT,
     DecisionRecord,
     ServiceStats,
     SessionManager,
@@ -18,12 +20,15 @@ from repro.service.manager import (
 from repro.service.sweep import ScaleSweep, SweepCell, append_record
 
 __all__ = [
+    "DEFAULT_TOMBSTONE_LIMIT",
     "DecisionRecord",
+    "EventBroker",
     "ServiceStats",
     "SessionManager",
     "SessionStats",
     "ShowRequest",
     "ShowResponse",
+    "Subscription",
     "ScaleSweep",
     "SweepCell",
     "append_record",

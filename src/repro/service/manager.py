@@ -38,6 +38,32 @@ another session):
 
 Because sessions only share immutable data and thread-safe caches,
 parallel dispatch changes *latency*, never *decisions*.
+
+Lifecycle / QoS contract (PR 4)
+-------------------------------
+On top of the registry the manager owns three lifecycle policies:
+
+* **Idle-timeout eviction** — with ``idle_timeout`` set, a session that
+  has not executed a verb for longer than the timeout is *evicted*, not
+  silently dropped: its canonical export payload (the
+  ``session_to_dict`` shape) and decision log move into a bounded
+  tombstone, and any later access answers
+  :class:`~repro.errors.SessionEvictedError` carrying that payload, so
+  an evicted analyst can always recover their evidence trail.  Expiry is
+  checked lazily (on access, on ``create_session``, and on ``stats()``)
+  against an injectable monotonic ``clock`` — no background reaper
+  thread, and tests can drive time explicitly.
+* **Wealth-aware capacity reclaim** — :meth:`evict_for_capacity` picks
+  the eviction victim an at-cap service may reclaim: only sessions whose
+  α-wealth is *exhausted* are candidates (the paper says such analysts
+  should stop exploring; they can spend nothing further), ranked
+  longest-idle first.  Sessions with live budget are never reclaimed.
+* **Event broadcast** — every decision-log append publishes a
+  ``decision`` event, and every wealth-spending show additionally
+  publishes a ``gauge`` event, through :class:`~repro.service.events.
+  EventBroker` (``manager.events``).  Publication happens under the
+  session lock, so subscribers observe events in decision-log order.
+  Closing or evicting a session publishes a terminal ``end`` event.
 """
 
 from __future__ import annotations
@@ -45,16 +71,24 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
-from repro.errors import InvalidParameterError, SessionError, WealthExhaustedError
+from repro.errors import (
+    InvalidParameterError,
+    SessionError,
+    SessionEvictedError,
+    WealthExhaustedError,
+)
 from repro.exploration.dataset import Dataset
 from repro.exploration.engine import ensure_thread_safe_caches
+from repro.exploration.export import clean_float
 from repro.exploration.predicate import Predicate
 from repro.exploration.session import ExplorationSession, ViewResult
 from repro.procedures.base import StreamingProcedure
+from repro.service.events import EventBroker
 
 __all__ = [
     "DecisionRecord",
@@ -63,7 +97,11 @@ __all__ = [
     "SessionStats",
     "ServiceStats",
     "SessionManager",
+    "DEFAULT_TOMBSTONE_LIMIT",
 ]
+
+#: Default bound on retained eviction tombstones (oldest dropped first).
+DEFAULT_TOMBSTONE_LIMIT = 64
 
 
 @dataclass(frozen=True)
@@ -159,6 +197,10 @@ class ServiceStats:
     mask_cache_misses: int
     hist_cache_hits: int
     hist_cache_misses: int
+    evictions_idle: int = 0
+    evictions_capacity: int = 0
+    tombstones: int = 0
+    sessions_per_dataset: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def mask_cache_hit_rate(self) -> float:
@@ -176,10 +218,10 @@ class _ManagedSession:
     """A session plus the service-side state the manager keeps for it."""
 
     __slots__ = ("session_id", "dataset_name", "session", "lock", "log",
-                 "shows", "total_latency_s")
+                 "shows", "total_latency_s", "last_active")
 
     def __init__(self, session_id: str, dataset_name: str,
-                 session: ExplorationSession) -> None:
+                 session: ExplorationSession, now: float) -> None:
         self.session_id = session_id
         self.dataset_name = dataset_name
         self.session = session
@@ -189,6 +231,9 @@ class _ManagedSession:
         self.log: list[DecisionRecord] = []
         self.shows = 0
         self.total_latency_s = 0.0
+        #: Monotonic clock reading of the last verb this session executed;
+        #: the idle-timeout eviction policy compares against it.
+        self.last_active = now
 
 
 @dataclass
@@ -207,16 +252,46 @@ class SessionManager:
         Thread-pool width for parallel dispatch.  ``None`` lets
         :class:`~concurrent.futures.ThreadPoolExecutor` pick; ``0`` or
         ``1`` forces serial dispatch even when ``parallel=True``.
+    idle_timeout:
+        Seconds of inactivity after which a session is evicted to a
+        tombstone (``None`` disables idle eviction).  Checked lazily on
+        access/create/stats against *clock* — no reaper thread.
+    tombstone_limit:
+        How many eviction tombstones to retain (oldest dropped first).
+    clock:
+        Monotonic time source (injectable so tests can drive eviction
+        deterministically instead of sleeping).
     """
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        idle_timeout: float | None = None,
+        tombstone_limit: int = DEFAULT_TOMBSTONE_LIMIT,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if max_workers is not None and max_workers < 0:
             raise InvalidParameterError("max_workers must be >= 0 or None")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise InvalidParameterError("idle_timeout must be > 0 or None")
+        if tombstone_limit < 0:
+            raise InvalidParameterError("tombstone_limit must be >= 0")
         self._max_workers = max_workers
+        self._idle_timeout = idle_timeout
+        self._tombstone_limit = tombstone_limit
+        self._clock = clock
         self._datasets: dict[str, _RegisteredDataset] = {}
         self._sessions: dict[str, _ManagedSession] = {}
+        self._tombstones: OrderedDict[str, dict] = OrderedDict()
+        self._evictions = {"idle": 0, "capacity": 0}
         self._registry_lock = threading.Lock()
         self._next_session = 1
+        #: Server-push channel; the wire layer exposes it as an SSE route.
+        self.events = EventBroker()
+
+    @property
+    def idle_timeout(self) -> float | None:
+        return self._idle_timeout
 
     # -- dataset registry ----------------------------------------------------
 
@@ -261,6 +336,7 @@ class SessionManager:
         alpha: float = 0.05,
         bins: int = 10,
         session_id: str | None = None,
+        sweep: bool = True,
         **procedure_kwargs,
     ) -> str:
         """Open a new isolated session over a registered dataset.
@@ -270,7 +346,10 @@ class SessionManager:
         *different* object, a unique generation-suffixed name is used —
         display names are not unique across datasets, registry names
         must be).  Every session gets a fresh procedure instance: wealth
-        ledgers are never shared.
+        ledgers are never shared.  *sweep* runs the idle-eviction pass
+        first; callers that already swept (the service does, before
+        taking its admission lock — eviction acquires victims' session
+        locks and must never run under it) pass ``False``.
         """
         if isinstance(dataset, Dataset):
             try:
@@ -283,6 +362,8 @@ class SessionManager:
             ds_name = dataset
             if ds_name not in self._datasets:
                 raise SessionError(f"no dataset registered as {ds_name!r}")
+        if sweep:
+            self.evict_idle()
         ds = self._datasets[ds_name].dataset
         session = ExplorationSession(
             ds, procedure=procedure, alpha=alpha, bins=bins, **procedure_kwargs
@@ -292,7 +373,11 @@ class SessionManager:
             self._next_session += 1
             if sid in self._sessions:
                 raise InvalidParameterError(f"session id {sid!r} already exists")
-            self._sessions[sid] = _ManagedSession(sid, ds_name, session)
+            # Re-opening an id that died by eviction supersedes its
+            # tombstone: later commands must reach the live session.
+            self._tombstones.pop(sid, None)
+            self._sessions[sid] = _ManagedSession(sid, ds_name, session,
+                                                  self._clock())
             self._datasets[ds_name].sessions.append(sid)
         return sid
 
@@ -303,6 +388,102 @@ class SessionManager:
             if managed is None:
                 raise SessionError(f"no session {session_id!r}")
             self._datasets[managed.dataset_name].sessions.remove(session_id)
+        self.events.close_session(session_id, reason="closed")
+
+    # -- lifecycle / QoS ------------------------------------------------------
+
+    def evict_idle(self, now: float | None = None) -> list[str]:
+        """Evict every session idle longer than ``idle_timeout``.
+
+        Returns the evicted session ids.  A no-op when idle eviction is
+        disabled.  Also invoked lazily by ``create_session`` and
+        ``stats()`` so a serving process converges without a reaper
+        thread even if no request ever touches the idle session again.
+        """
+        if self._idle_timeout is None:
+            return []
+        now = self._clock() if now is None else now
+        expired = [
+            sid for sid, managed in list(self._sessions.items())
+            if now - managed.last_active > self._idle_timeout
+        ]
+        return [sid for sid in expired
+                if self._evict_session(sid, reason="idle")]
+
+    def evict_for_capacity(self) -> str | None:
+        """Reclaim one session for an at-capacity admission, or ``None``.
+
+        Wealth-aware priority: only sessions whose α-wealth is
+        **exhausted** are candidates — they cannot reject another
+        hypothesis, so tombstoning them loses no analyst any spending
+        power — ranked longest-idle first.  Sessions with live budget
+        are never reclaimed.
+        """
+        candidates = []
+        for sid, managed in list(self._sessions.items()):
+            try:
+                if managed.session.is_exhausted:
+                    candidates.append((managed.last_active, sid))
+            except Exception:  # noqa: BLE001 - a broken candidate is skipped
+                continue
+        for _, sid in sorted(candidates):
+            if self._evict_session(sid, reason="capacity"):
+                return sid
+        return None
+
+    def _evict_session(self, session_id: str, reason: str) -> bool:
+        """Move *session_id* into a tombstone; False if already gone.
+
+        The export snapshot is taken under the session lock, so the
+        tombstone can never capture a half-applied revision.
+        """
+        from repro.exploration.export import session_to_dict
+
+        managed = self._sessions.get(session_id)
+        if managed is None:
+            return False
+        with managed.lock:
+            export = session_to_dict(managed.session)
+            log = [r.to_dict() for r in managed.log]
+            idle_s = max(0.0, self._clock() - managed.last_active)
+        with self._registry_lock:
+            if self._sessions.pop(session_id, None) is None:
+                return False  # lost the race to a close/another eviction
+            self._datasets[managed.dataset_name].sessions.remove(session_id)
+            self._evictions[reason] = self._evictions.get(reason, 0) + 1
+            self._tombstones[session_id] = {
+                "session_id": session_id,
+                "dataset": managed.dataset_name,
+                "reason": reason,
+                "evicted_at": time.time(),
+                "idle_s": idle_s,
+                "shows": managed.shows,
+                "decisions": len(log),
+                "decision_log": log,
+                "export": export,
+            }
+            while len(self._tombstones) > self._tombstone_limit:
+                self._tombstones.popitem(last=False)
+        self.events.close_session(session_id, reason="evicted")
+        return True
+
+    def tombstone(self, session_id: str) -> dict | None:
+        """The eviction tombstone for *session_id*, if one is retained."""
+        tomb = self._tombstones.get(session_id)
+        return dict(tomb) if tomb is not None else None
+
+    def tombstone_ids(self) -> tuple[str, ...]:
+        return tuple(self._tombstones)
+
+    def eviction_counts(self) -> dict[str, int]:
+        """``{"idle": n, "capacity": n}`` counters since startup."""
+        return dict(self._evictions)
+
+    def session_lock(self, session_id: str) -> threading.RLock:
+        """The per-session lock (re-entrant) — the wire layer holds it
+        across a single-session pipeline so the whole envelope executes
+        as one submission-ordered critical section."""
+        return self._managed(session_id).lock
 
     def session(self, session_id: str) -> ExplorationSession:
         """Direct access to the underlying session (single-threaded use)."""
@@ -443,18 +624,48 @@ class SessionManager:
     def _append_event(self, managed: _ManagedSession, event: str, hyp) -> None:
         """Append a non-show log entry for *hyp* (caller holds the lock)."""
         decision = hyp.decision
-        managed.log.append(
-            DecisionRecord(
-                seq=len(managed.log),
-                hypothesis_id=hyp.hypothesis_id,
-                kind=hyp.kind,
-                p_value=hyp.p_value,
-                level=decision.level if decision is not None else 0.0,
-                rejected=bool(decision.rejected) if decision is not None else False,
-                wealth_after=managed.session.wealth,
-                event=event,
-            )
+        record = DecisionRecord(
+            seq=len(managed.log),
+            hypothesis_id=hyp.hypothesis_id,
+            kind=hyp.kind,
+            p_value=hyp.p_value,
+            level=decision.level if decision is not None else 0.0,
+            rejected=bool(decision.rejected) if decision is not None else False,
+            wealth_after=managed.session.wealth,
+            event=event,
         )
+        managed.log.append(record)
+        self._publish(managed, record, gauge=False)
+
+    def _publish(self, managed: _ManagedSession, record: DecisionRecord,
+                 gauge: bool) -> None:
+        """Broadcast a log append to subscribers (caller holds the lock).
+
+        Every append yields a ``decision`` event; wealth-spending shows
+        (*gauge*) additionally yield a ``gauge`` event so UI gauges track
+        the α-wealth without polling.  Publication under the session lock
+        keeps event order identical to decision-log order.
+        """
+        sid = managed.session_id
+        if self.events.subscriber_count(sid) == 0:
+            return  # nobody listening: skip building the payloads
+        self.events.publish(
+            sid, {"type": "decision", "session_id": sid,
+                  "record": record.to_dict()}
+        )
+        if gauge:
+            summary = self._summary_locked(managed)
+            self.events.publish(sid, {
+                "type": "gauge",
+                "session_id": sid,
+                "seq": record.seq,
+                "alpha": summary["alpha"],
+                "wealth": clean_float(summary["wealth"]),
+                "initial_wealth": clean_float(summary["initial_wealth"]),
+                "num_tested": summary["num_tested"],
+                "num_discoveries": summary["num_discoveries"],
+                "exhausted": summary["exhausted"],
+            })
 
     def _append_replays(self, managed: _ManagedSession, report) -> None:
         """Log every *later* decision a revision replay flipped (lock held).
@@ -540,17 +751,17 @@ class SessionManager:
         hyp = result.hypothesis
         if hyp is not None and hyp.decision is not None:
             decision = hyp.decision
-            managed.log.append(
-                DecisionRecord(
-                    seq=len(managed.log),
-                    hypothesis_id=hyp.hypothesis_id,
-                    kind=hyp.kind,
-                    p_value=decision.p_value,
-                    level=decision.level,
-                    rejected=decision.rejected,
-                    wealth_after=decision.wealth_after,
-                )
+            record = DecisionRecord(
+                seq=len(managed.log),
+                hypothesis_id=hyp.hypothesis_id,
+                kind=hyp.kind,
+                p_value=decision.p_value,
+                level=decision.level,
+                rejected=decision.rejected,
+                wealth_after=decision.wealth_after,
             )
+            managed.log.append(record)
+            self._publish(managed, record, gauge=True)
         return result
 
     # -- logs & stats --------------------------------------------------------
@@ -583,12 +794,21 @@ class SessionManager:
             )
 
     def stats(self) -> ServiceStats:
-        """Aggregate counters across every session and registered dataset."""
+        """Aggregate counters across every session and registered dataset.
+
+        Sweeps idle sessions first, so occupancy/eviction numbers served
+        through ``Stats``/``/healthz`` are current even on a quiet server.
+        """
+        self.evict_idle()
         shows = decisions = 0
+        per_dataset: dict[str, int] = {}
         for managed in list(self._sessions.values()):
             with managed.lock:
                 shows += managed.shows
                 decisions += len(managed.log)
+            per_dataset[managed.dataset_name] = (
+                per_dataset.get(managed.dataset_name, 0) + 1
+            )
         mask_hits = mask_misses = hist_hits = hist_misses = 0
         # snapshot: another thread may register a dataset mid-iteration
         for reg in list(self._datasets.values()):
@@ -609,13 +829,34 @@ class SessionManager:
             mask_cache_misses=mask_misses,
             hist_cache_hits=hist_hits,
             hist_cache_misses=hist_misses,
+            evictions_idle=self._evictions.get("idle", 0),
+            evictions_capacity=self._evictions.get("capacity", 0),
+            tombstones=len(self._tombstones),
+            sessions_per_dataset=per_dataset,
         )
 
     def _managed(self, session_id: str) -> _ManagedSession:
-        try:
-            return self._sessions[session_id]
-        except KeyError:
-            raise SessionError(f"no session {session_id!r}") from None
+        managed = self._sessions.get(session_id)
+        if (
+            managed is not None
+            and self._idle_timeout is not None
+            and self._clock() - managed.last_active > self._idle_timeout
+        ):
+            # Lazy expiry: the first touch after the deadline performs the
+            # eviction, then answers like any other post-eviction access.
+            self._evict_session(session_id, reason="idle")
+            managed = None
+        if managed is None:
+            tomb = self._tombstones.get(session_id)
+            if tomb is not None:
+                raise SessionEvictedError(
+                    f"session {session_id!r} was evicted "
+                    f"({tomb['reason']}); its export payload is attached",
+                    dict(tomb),
+                )
+            raise SessionError(f"no session {session_id!r}")
+        managed.last_active = self._clock()
+        return managed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

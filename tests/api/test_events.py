@@ -1,0 +1,196 @@
+"""Server-push event channel: EventBroker semantics and the SSE route."""
+
+import queue
+import threading
+
+import pytest
+
+from repro.api import ApiError, Client, ExplorationService, ServerThread
+from repro.exploration.predicate import Eq, Not
+from repro.service import SessionManager
+from repro.service.events import EventBroker
+
+
+class TestEventBroker:
+    def test_publish_reaches_every_subscriber_in_order(self):
+        broker = EventBroker()
+        subs = [broker.subscribe("s1") for _ in range(3)]
+        for i in range(5):
+            broker.publish("s1", {"type": "gauge", "seq": i})
+        for sub in subs:
+            assert [sub.get(timeout=1)["seq"] for _ in range(5)] == list(range(5))
+
+    def test_publish_without_subscribers_is_a_noop(self):
+        broker = EventBroker()
+        assert broker.publish("ghost", {"type": "gauge"}) == 0
+        assert broker.published == 0
+
+    def test_sessions_are_isolated(self):
+        broker = EventBroker()
+        a, b = broker.subscribe("a"), broker.subscribe("b")
+        broker.publish("a", {"type": "gauge", "who": "a"})
+        assert a.get(timeout=1)["who"] == "a"
+        with pytest.raises(queue.Empty):
+            b.get(timeout=0.05)
+
+    def test_bounded_queue_drops_newest_and_counts(self):
+        broker = EventBroker()
+        sub = broker.subscribe("s1", maxsize=2)
+        for i in range(5):
+            broker.publish("s1", {"seq": i})
+        assert sub.dropped == 3
+        assert [sub.get(timeout=1)["seq"], sub.get(timeout=1)["seq"]] == [0, 1]
+
+    def test_close_session_terminates_iteration(self):
+        broker = EventBroker()
+        sub = broker.subscribe("s1")
+        broker.publish("s1", {"type": "gauge"})
+        broker.close_session("s1", reason="closed")
+        events = list(sub)
+        assert [e.get("type") for e in events] == ["gauge", "end"]
+        assert events[-1]["reason"] == "closed"
+        assert broker.subscriber_count() == 0
+
+    def test_detach_stops_delivery(self):
+        broker = EventBroker()
+        sub = broker.subscribe("s1")
+        sub.close()
+        assert broker.publish("s1", {"type": "gauge"}) == 0
+
+    def test_end_event_reaches_a_full_queue(self):
+        """The terminal event must never be dropped by backpressure: a
+        subscriber that stopped draining still sees its stream end."""
+        broker = EventBroker()
+        sub = broker.subscribe("s1", maxsize=2)
+        for i in range(4):
+            broker.publish("s1", {"type": "gauge", "seq": i})
+        broker.close_session("s1", reason="closed")
+        events = list(sub)  # would hang forever if 'end' were dropped
+        assert events[-1]["type"] == "end"
+        assert sub.dropped == 3  # 2 overflow drops + 1 evicted for 'end'
+
+
+class TestManagerPublishing:
+    def test_every_wealth_spending_show_publishes_a_gauge_event(self, census):
+        manager = SessionManager()
+        manager.register_dataset(census, name="census")
+        sid = manager.create_session("census")
+        sub = manager.events.subscribe(sid)
+        panels = [("age", Eq("sex", "Female")),
+                  ("age", Not(Eq("sex", "Female"))),
+                  ("education", Eq("sex", "Female"))]
+        for attribute, where in panels:
+            manager.show(sid, attribute, where=where)
+        manager.show(sid, "occupation", descriptive=True)  # spends nothing
+        events = [sub.get(timeout=1) for _ in range(sub.pending())]
+        gauges = [e for e in events if e["type"] == "gauge"]
+        decisions = [e for e in events if e["type"] == "decision"]
+        assert len(gauges) == len(panels)
+        assert len(decisions) == len(panels)
+        # gauge seq mirrors the decision log, wealth is strictly spent down
+        assert [g["seq"] for g in gauges] == [0, 1, 2]
+        wealths = [g["wealth"] for g in gauges]
+        assert wealths == sorted(wealths, reverse=True)
+
+    def test_revision_verbs_publish_decision_events(self, census):
+        manager = SessionManager()
+        manager.register_dataset(census, name="census")
+        sid = manager.create_session("census")
+        manager.show(sid, "age", where=Eq("sex", "Female"))
+        manager.show(sid, "age", where=Not(Eq("sex", "Female")))
+        sub = manager.events.subscribe(sid)
+        manager.star(sid, 1)
+        manager.override_with_means(sid, 2)
+        events = [sub.get(timeout=1) for _ in range(sub.pending())]
+        kinds = [e["record"]["event"] for e in events
+                 if e["type"] == "decision"]
+        assert kinds[0] == "star"
+        assert "override" in kinds
+        # event order matches decision-log order
+        seqs = [e["record"]["seq"] for e in events if e["type"] == "decision"]
+        assert seqs == sorted(seqs)
+
+
+@pytest.fixture()
+def server(census):
+    service = ExplorationService(max_sessions=8)
+    service.register_dataset(census, name="census")
+    with ServerThread(service) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with Client(port=server.port) as c:
+        yield c
+
+
+class TestSseRoute:
+    def test_subscriber_observes_gauge_for_every_spending_show(self, client):
+        sid = client.create_session("census")
+        received: list[dict] = []
+        stream = client.events(sid, timeout=10)
+        frames = iter(stream)
+        # consume the hello frame *before* driving shows: the subscription
+        # is attached server-side before the head is written, so from here
+        # on no event can be missed.
+        received.append(next(frames))
+
+        def consume():
+            with stream:
+                received.extend(frames)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        panels = [("age", Eq("sex", "Female")),
+                  ("age", Not(Eq("sex", "Female")))]
+        for attribute, where in panels:
+            client.show(sid, attribute, where=where)
+        client.show(sid, "education", descriptive=True)
+        client.close_session(sid)
+        consumer.join(timeout=10)
+        assert not consumer.is_alive()
+
+        types = [e["type"] for e in received]
+        assert types[0] == "hello"
+        assert types[-1] == "end" and received[-1]["reason"] == "closed"
+        gauges = [e for e in received if e["type"] == "gauge"]
+        assert len(gauges) == len(panels)  # one per wealth-spending show
+        assert all(e["session_id"] == sid for e in received)
+        # the hello frame carries the live gauge so UIs render immediately
+        assert received[0]["gauge"]["session_id"] == sid
+
+    def test_unknown_session_answers_json_envelope(self, client):
+        with pytest.raises(ApiError) as exc_info:
+            client.events("ghost")
+        assert exc_info.value.code == "SESSION"
+        assert exc_info.value.status == 404
+
+    def test_evicted_session_answers_session_evicted(self, census):
+        clock = [0.0]
+        manager = SessionManager(idle_timeout=5.0, clock=lambda: clock[0])
+        service = ExplorationService(manager=manager)
+        service.register_dataset(census, name="census")
+        with ServerThread(service) as srv, Client(port=srv.port) as client:
+            sid = client.create_session("census")
+            clock[0] = 100.0
+            with pytest.raises(ApiError) as exc_info:
+                client.events(sid)
+            assert exc_info.value.code == "SESSION_EVICTED"
+            assert exc_info.value.status == 410
+            assert exc_info.value.details["dataset"] == "census"
+            assert exc_info.value.details["export"]["schema_version"] == 1
+
+    def test_eviction_ends_live_streams(self, census):
+        clock = [0.0]
+        manager = SessionManager(idle_timeout=5.0, clock=lambda: clock[0])
+        service = ExplorationService(manager=manager)
+        service.register_dataset(census, name="census")
+        with ServerThread(service) as srv, Client(port=srv.port) as client:
+            sid = client.create_session("census")
+            stream = client.events(sid, timeout=10)
+            clock[0] = 100.0
+            manager.evict_idle()
+            events = list(stream)
+            assert events[-1]["type"] == "end"
+            assert events[-1]["reason"] == "evicted"

@@ -49,6 +49,20 @@ class TestHttpLifecycle:
         assert health["result"]["status"] == "healthy"
         assert "census" in health["result"]["datasets"]
 
+    def test_healthz_reports_occupancy_and_evictions(self, client):
+        a = client.create_session("census")
+        b = client.create_session("census")
+        result = client.health()["result"]
+        assert result["sessions"] == 2
+        assert result["max_sessions"] == 8
+        assert result["occupancy"] == pytest.approx(0.25)
+        assert result["datasets"] == {"census": 2}  # per-dataset counts
+        assert result["evictions"] == {"idle": 0, "capacity": 0}
+        assert result["tombstones"] == 0
+        client.close_session(a)
+        client.close_session(b)
+        assert client.health()["result"]["sessions"] == 0
+
     def test_full_lifecycle_over_http(self, client):
         assert [d["name"] for d in client.list_datasets()] == ["census"]
         sid = client.create_session("census")
@@ -176,3 +190,35 @@ class TestHttpFraming:
             json.loads(resp.read())
         finally:
             conn.close()
+
+    def test_connection_close_is_honoured_on_healthz(self, server):
+        """Regression: a keep-alive-capable connection asking for
+        ``Connection: close`` must get a full response *and* a closed
+        connection — not a hang, not a silently kept-alive socket.  Raw
+        socket on purpose: ``http.client`` reconnects transparently and
+        would mask a server that ignored the header."""
+        import socket
+
+        with socket.create_connection((server.host, server.port),
+                                      timeout=10) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                         b"Connection: close\r\n\r\n")
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:  # EOF: the server really closed
+                    break
+                data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert b"200 OK" in head
+        assert b"Connection: close" in head
+        assert json.loads(body)["result"]["status"] == "healthy"
+
+    def test_health_retries_a_stale_pooled_connection(self, client):
+        """Regression: ``Client.health()`` must reconnect when its pooled
+        keep-alive connection has died — a liveness probe reports on the
+        server, not on this client's socket."""
+        assert client.health()["ok"] is True
+        assert client._conn is not None
+        client._conn.sock.close()  # simulate the server dropping keep-alive
+        assert client.health()["ok"] is True

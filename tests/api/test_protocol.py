@@ -51,7 +51,7 @@ class TestCommandCodec:
             assert rebuilt == command
 
     def test_all_registered_verbs_have_distinct_wire_names(self):
-        assert len(COMMANDS) == 12
+        assert len(COMMANDS) == 13  # 12 v1 verbs + the v2 pipeline envelope
         assert all(cls.cmd == verb for verb, cls in COMMANDS.items())
 
     def test_missing_version_rejected(self):

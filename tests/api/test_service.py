@@ -132,7 +132,8 @@ class TestAdmissionControl:
         resp = svc.handle(CreateSession(dataset="census"))
         assert not resp.ok
         assert resp.error.code == "ADMISSION_REJECTED"
-        assert resp.error.details == {"active_sessions": 2, "max_sessions": 2}
+        assert resp.error.details == {"active_sessions": 2, "max_sessions": 2,
+                                      "admission_policy": "reject"}
 
     def test_closing_a_session_frees_capacity(self, census):
         svc = ExplorationService(max_sessions=1)

@@ -1,0 +1,149 @@
+"""Property: the pipeline envelope is invisible in the decisions.
+
+For random show/star traffic chopped into random pipeline envelopes
+(random chunk sizes, both failure policies, ``"$prev"`` star references),
+executing through ``ExplorationService.handle`` produces a decision log
+**byte-identical** to replaying the same verbs one at a time against a
+bare :class:`SessionManager`.  Batching saves round trips; it may never
+move, add, or remove a decision — the envelope-level twin of PR 2's
+serial-vs-threaded and PR 3's serial-vs-HTTP equivalences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ExplorationService
+from repro.api.protocol import PREV
+from repro.exploration.dataset import Dataset
+from repro.exploration.predicate import Eq
+from repro.service import SessionManager
+
+_COLORS = ("red", "blue", "green")
+_SHAPES = ("circle", "square", "triangle")
+_SIZES = ("small", "medium", "large")
+_ATTRS = ("color", "shape", "size")
+_CATEGORY = {"color": _COLORS, "shape": _SHAPES, "size": _SIZES}
+
+
+def _build_dataset() -> Dataset:
+    rng = np.random.default_rng(24680)
+    n = 400
+    return Dataset(
+        {
+            "color": rng.choice(_COLORS, size=n),
+            "shape": rng.choice(_SHAPES, size=n),
+            "size": rng.choice(_SIZES, size=n),
+        },
+        categorical=list(_ATTRS),
+        name="pipeline-property",
+    )
+
+
+_DATASET = _build_dataset()
+
+
+@st.composite
+def gesture(draw):
+    """One (target, filter, star-it?) user gesture."""
+    target = draw(st.sampled_from(_ATTRS))
+    filt_attr = draw(st.sampled_from([a for a in _ATTRS if a != target]))
+    category = draw(st.sampled_from(_CATEGORY[filt_attr]))
+    starred = draw(st.booleans())
+    return (target, Eq(filt_attr, category), starred)
+
+
+@st.composite
+def traffic(draw):
+    """Gestures plus a random partition into pipeline envelopes."""
+    gestures = draw(st.lists(gesture(), min_size=1, max_size=8))
+    # wire commands: show, optionally followed by star($prev)
+    n_commands = sum(2 if starred else 1 for _, _, starred in gestures)
+    n_chunks = draw(st.integers(min_value=1, max_value=n_commands))
+    # chunk boundaries as a sorted sample of cut positions
+    cuts = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=max(1, n_commands - 1)),
+            max_size=n_chunks - 1,
+            unique=True,
+        )
+        if n_commands > 1
+        else st.just([])
+    )
+    policy = draw(st.sampled_from(["abort_on_error", "continue"]))
+    return gestures, sorted(cuts), policy
+
+
+def _wire_commands(session_id: str, gestures) -> list[dict]:
+    commands: list[dict] = []
+    for target, predicate, starred in gestures:
+        commands.append({
+            "cmd": "show", "session_id": session_id, "attribute": target,
+            "where": {"op": "eq", "column": predicate.column,
+                      "value": predicate.value},
+        })
+        if starred:
+            commands.append({"cmd": "star", "session_id": session_id,
+                             "hypothesis_id": PREV})
+    return commands
+
+
+@settings(max_examples=25, deadline=None)
+@given(traffic())
+def test_pipelined_log_byte_identical_to_serial(case):
+    gestures, cuts, policy = case
+
+    # -- pipelined, through the full service dispatcher ----------------------
+    service = ExplorationService(max_sessions=None)
+    service.register_dataset(_DATASET, name="data")
+    sid = service.handle_dict(
+        {"v": 2, "cmd": "create_session", "dataset": "data"}
+    )["result"]["session_id"]
+    commands = _wire_commands(sid, gestures)
+    bounds = [0] + [c for c in cuts if c < len(commands)] + [len(commands)]
+    for start, stop in zip(bounds, bounds[1:]):
+        chunk = commands[start:stop]
+        if not chunk:
+            continue
+        envelope = service.handle_dict({
+            "v": 2, "cmd": "pipeline", "failure_policy": policy,
+            "commands": chunk,
+        })
+        assert envelope["ok"], envelope
+        # a chunk may open with star($prev) whose hypothesis came from the
+        # *previous* envelope — $prev does not cross envelopes, by design:
+        # those slots fail with PROTOCOL and (under abort) skip the rest.
+        # Everything else must succeed.
+        for slot in envelope["result"]["slots"]:
+            if not slot["ok"]:
+                assert slot["error"]["code"] in ("PROTOCOL", "NOT_EXECUTED")
+
+    # -- serial, against a bare manager, mirroring slot outcomes -------------
+    manager = SessionManager()
+    manager.register_dataset(_DATASET, name="data")
+    serial = manager.create_session("data")
+    prev_hyp: int | None = None
+    aborted = False
+    for start, stop in zip(bounds, bounds[1:]):
+        prev_hyp = None  # $prev never crosses envelope boundaries
+        aborted = False
+        for command in commands[start:stop]:
+            if aborted:
+                continue
+            if command["cmd"] == "show":
+                result = manager.show(serial, command["attribute"],
+                                      where=Eq(command["where"]["column"],
+                                               command["where"]["value"]))
+                if result.hypothesis is not None:
+                    prev_hyp = result.hypothesis.hypothesis_id
+            else:  # star($prev)
+                if prev_hyp is None:
+                    if policy == "abort_on_error":
+                        aborted = True
+                    continue
+                manager.star(serial, prev_hyp)
+
+    assert (service.manager.decision_log_bytes(sid)
+            == manager.decision_log_bytes(serial))

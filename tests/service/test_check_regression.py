@@ -100,3 +100,65 @@ class TestMainAndSummary:
         means = check_regression.load_means(REPO_ROOT / "BENCH_interactive.json")
         assert means  # non-empty: the gate has something to guard
         assert all(m > 0 for m in means.values())
+
+    def test_api_baseline_carries_the_pipeline_cells(self):
+        """The committed BENCH_api.json must expose the v2 gesture cells the
+        CI gate requires (they may never silently vanish again)."""
+        means = check_regression.load_means(REPO_ROOT / "BENCH_api.json")
+        for cell in ("http_gesture_sequential", "http_gesture_pipeline",
+                     "http_gesture_pipeline_batch16"):
+            assert cell in means
+
+
+class TestRequireAndSpeedupGates:
+    def test_require_missing_cell_fails(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline = _write(tmp_path, "base.json", {"a": 1e-3})
+        candidate = _write(tmp_path, "cand.json", {"a": 1e-3})
+        rc = check_regression.main(
+            ["--baseline", str(baseline), "--candidate", str(candidate),
+             "--require", "a", "--require", "ghost"]
+        )
+        assert rc == 1
+        assert "ghost: required benchmark missing" in capsys.readouterr().out
+
+    def test_require_present_cell_passes(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline = _write(tmp_path, "base.json", {"a": 1e-3})
+        candidate = _write(tmp_path, "cand.json", {"a": 1e-3, "new": 2e-3})
+        assert check_regression.main(
+            ["--baseline", str(baseline), "--candidate", str(candidate),
+             "--require", "new"]
+        ) == 0
+
+    def test_min_speedup_enforced(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline = _write(tmp_path, "base.json", {"slow": 3e-3})
+        candidate = _write(tmp_path, "cand.json",
+                           {"slow": 3e-3, "fast": 1e-3})
+        args = ["--baseline", str(baseline), "--candidate", str(candidate)]
+        assert check_regression.main(
+            args + ["--min-speedup", "slow:fast:2.5"]
+        ) == 0
+        assert check_regression.main(
+            args + ["--min-speedup", "slow:fast:4.0"]
+        ) == 1
+        assert "below the required 4.0x" in capsys.readouterr().out
+
+    def test_min_speedup_with_missing_cell_fails(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        baseline = _write(tmp_path, "base.json", {"a": 1e-3})
+        candidate = _write(tmp_path, "cand.json", {"a": 1e-3})
+        assert check_regression.main(
+            ["--baseline", str(baseline), "--candidate", str(candidate),
+             "--min-speedup", "a:ghost:2.0"]
+        ) == 1
+
+    def test_bad_speedup_spec_is_a_usage_error(self, tmp_path):
+        baseline = _write(tmp_path, "base.json", {"a": 1e-3})
+        with pytest.raises(SystemExit) as exc_info:
+            check_regression.main(
+                ["--baseline", str(baseline), "--candidate", str(baseline),
+                 "--min-speedup", "nonsense"]
+            )
+        assert exc_info.value.code == 2  # argparse usage error
