@@ -43,26 +43,45 @@ from pathlib import Path
 DEFAULT_THRESHOLD = 2.5
 
 
+def scale_cell_name(cell: dict) -> str:
+    """The benchmark name a ``BENCH_scale.json`` cell is gated under.
+
+    Mirrors ``repro.service.sweep.cell_bench_name`` (this script stays
+    stdlib-only, so the derivation is duplicated and pinned in sync by
+    ``tests/service/test_check_regression.py``).
+    """
+    transport = cell.get("transport", "manager")
+    return (f"scale_{cell['rows']}x{cell['sessions']}"
+            f"_{cell['workload']}_{transport}")
+
+
 def load_means(path: Path) -> dict[str, float]:
     """``{benchmark name: mean seconds}`` from a benchmark record.
 
-    Understands both record shapes in the repo: the flat
-    ``BENCH_interactive.json`` summary (``{"benchmarks": {...}}``) and
+    Understands every record shape in the repo: the flat
+    ``BENCH_interactive.json`` summary (``{"benchmarks": {...}}``),
     append-only ledgers like ``BENCH_api.json``
-    (``{"records": [..., {"benchmarks": {...}}]}``), where the *latest*
-    record is the one gated.
+    (``{"records": [..., {"benchmarks": {...}}]}``) where the *latest*
+    record is the one gated, and ``BENCH_scale.json`` sweep records,
+    whose grid cells become one pseudo-benchmark each (named by
+    :func:`scale_cell_name`, mean = mean **gesture** latency) so the
+    ``--require``/``--min-speedup`` gates cover sweep cells too.  Cells
+    predating the transport axis carry no gesture metric and yield no
+    pseudo-benchmark — gating a different metric under the same name
+    would turn every baseline comparison into a false regression.
     """
     payload = json.loads(path.read_text())
     records = payload.get("records")
-    if isinstance(records, list) and records:
-        benchmarks = records[-1].get("benchmarks", {})
-    else:
-        benchmarks = payload.get("benchmarks", {})
+    record = records[-1] if isinstance(records, list) and records else payload
     means: dict[str, float] = {}
-    for name, stats in benchmarks.items():
+    for name, stats in record.get("benchmarks", {}).items():
         mean = stats.get("mean_s")
         if isinstance(mean, (int, float)) and mean > 0:
             means[name] = float(mean)
+    for cell in record.get("cells", []):
+        mean_ms = cell.get("mean_gesture_latency_ms")
+        if isinstance(mean_ms, (int, float)) and mean_ms > 0:
+            means[scale_cell_name(cell)] = float(mean_ms) / 1e3
     return means
 
 
@@ -167,8 +186,10 @@ def check_requirements(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", type=Path, required=True,
-                        help="committed BENCH_interactive.json")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed baseline record; omit to run only "
+                             "the structural gates (--require/--min-speedup) "
+                             "against the candidate")
     parser.add_argument("--candidate", type=Path, required=True,
                         help="freshly generated benchmark record")
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
@@ -189,17 +210,26 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
-    baseline = load_means(args.baseline)
+    if args.baseline is None and not (args.require or speedup_specs):
+        parser.error("without --baseline, at least one --require or "
+                     "--min-speedup gate is needed")
+
     candidate = load_means(args.candidate)
-    if not baseline:
-        parser.error(f"no usable benchmarks in baseline {args.baseline}")
-    rows, failures = compare(baseline, candidate, args.threshold)
+    table = None
+    if args.baseline is not None:
+        baseline = load_means(args.baseline)
+        if not baseline:
+            parser.error(f"no usable benchmarks in baseline {args.baseline}")
+        rows, failures = compare(baseline, candidate, args.threshold)
+        table = markdown_table(rows, args.threshold)
+    else:
+        rows, failures = [], []
     failures += check_requirements(candidate, args.require, speedup_specs)
-    table = markdown_table(rows, args.threshold)
-    print(table)
+    if table is not None:
+        print(table)
 
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
-    if summary_path:
+    if summary_path and table is not None:
         with open(summary_path, "a") as fh:
             fh.write(table + "\n\n")
 
@@ -208,8 +238,12 @@ def main(argv: list[str] | None = None) -> int:
         for message in failures:
             print(f"REGRESSION: {message}")
         return 1
-    print(f"\nperf gate passed: {sum(r['status'] == 'ok' for r in rows)} benchmark(s) "
-          f"within {args.threshold}x of baseline")
+    if args.baseline is not None:
+        print(f"\nperf gate passed: {sum(r['status'] == 'ok' for r in rows)} "
+              f"benchmark(s) within {args.threshold}x of baseline")
+    else:
+        print(f"\nstructural gate passed: {len(args.require)} required "
+              f"benchmark(s), {len(speedup_specs)} speedup contract(s)")
     return 0
 
 

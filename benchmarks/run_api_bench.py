@@ -67,7 +67,7 @@ from repro.api import (  # noqa: E402
 )
 from repro.errors import InvalidParameterError  # noqa: E402
 from repro.exploration.predicate import And, Eq, Not, Range  # noqa: E402
-from repro.service.sweep import run_metadata  # noqa: E402
+from repro.ledger import append_ledger_record  # noqa: E402
 from repro.workloads.census import make_census  # noqa: E402
 
 #: Rows of the census the service benchmarks explore.
@@ -219,22 +219,9 @@ def bench_http_gestures(
 def append_record(path: Path, benchmarks: dict, rows: int,
                   extra: dict | None = None) -> dict:
     """Append one attributable record to the ``BENCH_api.json`` ledger."""
-    if path.exists():
-        payload = json.loads(path.read_text())
-        if payload.get("suite") != "api-bench" or not isinstance(
-            payload.get("records"), list
-        ):
-            raise InvalidParameterError(f"{path} is not an api-bench ledger")
-    else:
-        payload = {"suite": "api-bench", "records": []}
-    record = dict(run_metadata())
-    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
-    record["rows"] = rows
-    record["benchmarks"] = benchmarks
-    record.update(extra or {})
-    payload["records"].append(record)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return record
+    fields = {"rows": rows, "benchmarks": benchmarks}
+    fields.update(extra or {})
+    return append_ledger_record(path, "api-bench", fields)
 
 
 def main(argv: list[str] | None = None) -> int:

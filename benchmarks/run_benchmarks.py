@@ -31,8 +31,8 @@ if _SRC not in sys.path:
 
 # Single source of truth for record attribution (git sha with GITHUB_SHA
 # fallback on detached/shallow CI checkouts, python, machine) — shared
-# with the scale sweep so the two ledgers can never drift apart.
-from repro.service.sweep import run_metadata  # noqa: E402
+# with every BENCH_*.json writer so the ledgers can never drift apart.
+from repro.ledger import run_metadata  # noqa: E402
 
 
 def run_suite(raw_json: Path) -> None:

@@ -26,6 +26,7 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 from repro.service.sweep import (  # noqa: E402
+    TRANSPORTS,
     WORKLOADS,
     ScaleSweep,
     append_record,
@@ -55,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workloads", nargs="+", choices=WORKLOADS,
                         default=list(WORKLOADS),
                         help="workloads to replay per grid point")
+    parser.add_argument("--transport", nargs="+", choices=TRANSPORTS,
+                        default=list(TRANSPORTS), dest="transports",
+                        help="transports to drive per grid point: direct "
+                             "manager dispatch, per-command service calls, "
+                             "and/or batched v2 pipeline envelopes "
+                             "(default: all three, so pipeline cells record "
+                             "their speedup over the service cells)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="re-measure each cell this many times, pooling "
+                             "latency samples (default 1; CI uses 3 to "
+                             "steady the pipeline_speedup ratio)")
     parser.add_argument("--serial", action="store_true",
                         help="dispatch sessions serially instead of on a pool")
     parser.add_argument("--max-workers", type=int, default=None,
@@ -80,12 +92,19 @@ def main(argv: list[str] | None = None) -> int:
         steps=args.steps,
         seed=args.seed,
         workloads=tuple(args.workloads),
+        transports=tuple(args.transports),
         parallel=not args.serial,
         max_workers=args.max_workers,
+        repeats=args.repeats,
     )
     cells = sweep.run(progress=lambda msg: print(f"[sweep] {msg}", flush=True))
     record = append_record(args.output, cells, extra=sweep_extra(sweep, args.label))
     print(format_cells(cells))
+    speedups = [c.pipeline_speedup for c in cells if c.pipeline_speedup]
+    if speedups:
+        print(f"pipeline speedup vs per-command service transport: "
+              f"min {min(speedups):.2f}x / max {max(speedups):.2f}x "
+              f"over {len(speedups)} cell(s)")
     print(f"appended record ({record['git_sha'][:12]}) to {args.output}")
     return 0
 

@@ -149,6 +149,12 @@ class ExplorationService:
         self._idem_cache: OrderedDict[str, Response] = OrderedDict()
         self._idem_lock = threading.Lock()
         self._idem_replays = 0
+        # Gesture-traffic observability: how much of the load arrives
+        # batched (the scale sweep's pipeline transport reads these back
+        # through the stats verb to sanity-check its own accounting).
+        self._pipelines = 0
+        self._pipeline_commands = 0
+        self._counter_lock = threading.Lock()
         # create_session admission check + create must be atomic or two
         # racing creates could both pass the cap probe.
         self._admission_lock = threading.Lock()
@@ -267,6 +273,9 @@ class ExplorationService:
         concurrent clients, which is what keeps the decision log
         byte-identical to the serial equivalent.
         """
+        with self._counter_lock:
+            self._pipelines += 1
+            self._pipeline_commands += len(pipe.commands)
         slots: list[dict] = []
         executed = 0
         prev_hypothesis: int | None = None
@@ -474,6 +483,8 @@ class ExplorationService:
                           "capacity": svc.evictions_capacity},
             "tombstones": svc.tombstones,
             "idem_replays": self._idem_replays,
+            "pipelines": self._pipelines,
+            "pipeline_commands": self._pipeline_commands,
         }
 
     def occupancy(self, sessions: int | None = None) -> float | None:

@@ -74,6 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="panels per session per cell (default 40)")
     sweep.add_argument("--seed", type=int, default=0,
                        help="census + workload seed (default 0)")
+    sweep.add_argument("--transport", nargs="+", dest="transports",
+                       choices=["manager", "service", "pipeline"],
+                       default=["manager", "service", "pipeline"],
+                       help="transports to drive gesture traffic through: "
+                            "direct manager dispatch, per-command service "
+                            "calls, batched v2 pipeline envelopes "
+                            "(default: all three)")
+    sweep.add_argument("--repeats", type=int, default=1,
+                       help="re-measure each cell this many times, pooling "
+                            "latency samples (default 1)")
     sweep.add_argument("--serial", action="store_true",
                        help="dispatch sessions serially instead of on a pool")
     sweep.add_argument("--label", default=None,
@@ -227,7 +237,9 @@ def _run_serve_sweep(args) -> str:
         sessions_grid=tuple(args.sessions),
         steps=args.steps,
         seed=args.seed,
+        transports=tuple(args.transports),
         parallel=not args.serial,
+        repeats=args.repeats,
     )
     cells = sweep.run()
     lines = [

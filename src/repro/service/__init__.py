@@ -11,24 +11,29 @@ from repro.service.events import EventBroker, Subscription
 from repro.service.manager import (
     DEFAULT_TOMBSTONE_LIMIT,
     DecisionRecord,
+    GestureStep,
+    GestureStepResult,
     ServiceStats,
     SessionManager,
     SessionStats,
     ShowRequest,
     ShowResponse,
 )
-from repro.service.sweep import ScaleSweep, SweepCell, append_record
+from repro.service.sweep import TRANSPORTS, ScaleSweep, SweepCell, append_record
 
 __all__ = [
     "DEFAULT_TOMBSTONE_LIMIT",
     "DecisionRecord",
     "EventBroker",
+    "GestureStep",
+    "GestureStepResult",
     "ServiceStats",
     "SessionManager",
     "SessionStats",
     "ShowRequest",
     "ShowResponse",
     "Subscription",
+    "TRANSPORTS",
     "ScaleSweep",
     "SweepCell",
     "append_record",

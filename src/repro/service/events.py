@@ -52,6 +52,10 @@ class Subscription:
         self._broker = broker
         self._queue: queue.Queue = queue.Queue(maxsize=maxsize)
         self._closed = False
+        # Guards the _closed transition: a consumer-side close() racing
+        # the broker's close_session() must produce exactly one terminal
+        # event, whichever thread wins the flip.
+        self._close_lock = threading.Lock()
 
     def _offer(self, event: Mapping[str, Any]) -> None:
         try:
@@ -90,11 +94,33 @@ class Subscription:
         """Events currently buffered (approximate, like ``Queue.qsize``)."""
         return self._queue.qsize()
 
-    def close(self) -> None:
-        """Detach from the broker (idempotent)."""
-        if not self._closed:
+    def _terminate(self, event: Mapping[str, Any]) -> bool:
+        """Atomically flip to closed and enqueue the terminal event.
+
+        Returns False (enqueuing nothing) if another thread already
+        terminated this subscription — one stream, one ``end``.
+        """
+        with self._close_lock:
+            if self._closed:
+                return False
             self._closed = True
-            self._broker._detach(self)
+        self._offer_terminal(event)
+        return True
+
+    def close(self) -> None:
+        """Detach from the broker and unblock any parked consumer.
+
+        Idempotent.  Closing must enqueue the terminal ``end`` event
+        itself: a consumer thread parked in :meth:`get` / ``__iter__``
+        blocks on the queue with no timeout, so detaching alone would
+        leave it waiting forever for an event that can no longer arrive.
+        """
+        self._broker._detach(self)
+        self._terminate({
+            "type": END_EVENT_TYPE,
+            "session_id": self.session_id,
+            "reason": "unsubscribed",
+        })
 
     def __iter__(self) -> Iterator[dict]:
         while True:
@@ -163,8 +189,7 @@ class EventBroker:
         with self._lock:
             subs = self._subscribers.pop(session_id, [])
         for sub in subs:
-            sub._offer_terminal(event)
-            sub._closed = True
+            sub._terminate(event)
         return len(subs)
 
     def subscriber_count(self, session_id: str | None = None) -> int:

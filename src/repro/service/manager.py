@@ -94,11 +94,19 @@ __all__ = [
     "DecisionRecord",
     "ShowRequest",
     "ShowResponse",
+    "GestureStep",
+    "GestureStepResult",
     "SessionStats",
     "ServiceStats",
     "SessionManager",
     "DEFAULT_TOMBSTONE_LIMIT",
+    "PREV_HYPOTHESIS",
 ]
+
+#: In-process twin of the wire protocol's ``"$prev"`` token: a gesture
+#: step whose ``hypothesis_id`` is this string resolves to the hypothesis
+#: produced by the nearest earlier successful step of the same gesture.
+PREV_HYPOTHESIS = "$prev"
 
 #: Default bound on retained eviction tombstones (oldest dropped first).
 DEFAULT_TOMBSTONE_LIMIT = 64
@@ -165,6 +173,42 @@ class ShowResponse:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+@dataclass(frozen=True)
+class GestureStep:
+    """One verb of a multi-command analyst *gesture* (show/star/unstar).
+
+    A gesture is the burst of commands one UI interaction emits — the
+    show→star→show shape of the API benchmarks.  ``hypothesis_id`` may be
+    a concrete id or :data:`PREV_HYPOTHESIS` (``"$prev"``), which
+    :meth:`SessionManager.execute_gesture` resolves exactly like the v2
+    pipeline envelope does: to the nearest earlier successful step that
+    produced a hypothesis, never across gesture boundaries.
+    """
+
+    verb: str
+    attribute: str | None = None
+    where: Predicate | None = None
+    bins: int | None = None
+    descriptive: bool = False
+    hypothesis_id: int | str | None = None
+
+
+@dataclass(frozen=True)
+class GestureStepResult:
+    """Outcome slot of one gesture step, in gesture order.
+
+    ``executed`` is ``False`` for steps skipped after an earlier failure
+    (the in-process twin of the pipeline's ``NOT_EXECUTED`` slots).
+    """
+
+    step: GestureStep
+    ok: bool
+    error: str | None
+    executed: bool
+    hypothesis_id: int | None
+    latency_s: float
 
 
 @dataclass(frozen=True)
@@ -435,7 +479,14 @@ class SessionManager:
         """Move *session_id* into a tombstone; False if already gone.
 
         The export snapshot is taken under the session lock, so the
-        tombstone can never capture a half-applied revision.
+        tombstone can never capture a half-applied revision.  Timestamps
+        are recorded on two explicitly separate timebases: ``evicted_at``
+        keeps its wire meaning of wall time (unix epoch, attribution
+        only), while ``evicted_at_monotonic`` / ``idle_s`` come from
+        *one* reading of the injectable monotonic ``clock`` — so
+        ``evicted_at_monotonic - idle_s == last_active`` holds exactly
+        and tests driving a fake clock see deterministic values.  Never
+        mix the two timebases in arithmetic.
         """
         from repro.exploration.export import session_to_dict
 
@@ -445,7 +496,8 @@ class SessionManager:
         with managed.lock:
             export = session_to_dict(managed.session)
             log = [r.to_dict() for r in managed.log]
-            idle_s = max(0.0, self._clock() - managed.last_active)
+            now = self._clock()
+            idle_s = max(0.0, now - managed.last_active)
         with self._registry_lock:
             if self._sessions.pop(session_id, None) is None:
                 return False  # lost the race to a close/another eviction
@@ -456,6 +508,7 @@ class SessionManager:
                 "dataset": managed.dataset_name,
                 "reason": reason,
                 "evicted_at": time.time(),
+                "evicted_at_monotonic": now,
                 "idle_s": idle_s,
                 "shows": managed.shows,
                 "decisions": len(log),
@@ -733,6 +786,111 @@ class SessionManager:
                 req, index, None, f"{type(exc).__name__}: {exc}",
                 time.perf_counter() - start,
             )
+
+    # -- gesture batches ------------------------------------------------------
+
+    def execute_gesture(
+        self,
+        session_id: str,
+        steps: Sequence[GestureStep],
+        reject_exhausted: bool = True,
+    ) -> list[GestureStepResult]:
+        """Run a multi-verb gesture as **one** critical section.
+
+        This is the in-process twin of the v2 pipeline envelope, and it
+        deliberately *reuses* the envelope's session-lock semantics
+        instead of re-implementing them: the session's re-entrant lock is
+        held across the whole gesture (exactly what the wire dispatcher
+        does for a single-session pipeline), and each step goes through
+        the ordinary lock-mediated verbs — ``show``/``star``/``unstar`` —
+        so locking, decision logging and event publication are the same
+        code paths a wire client exercises.  Guarantees, matching the
+        envelope:
+
+        * steps execute strictly in order; no other client's verb can
+          interleave mid-gesture;
+        * a ``hypothesis_id`` of ``"$prev"`` resolves to the nearest
+          earlier successful step's hypothesis, never across gestures;
+        * the first failed step aborts the remainder (later slots report
+          ``executed=False``), mirroring ``abort_on_error``;
+        * ``reject_exhausted`` defaults to True so a wealth-exhausted
+          session answers exactly like the wire boundary would — the
+          three sweep transports must agree on this or their decision
+          logs diverge.
+
+        Raises for an unknown/evicted session (the whole gesture is
+        unaddressable); per-step problems never raise, they fill slots.
+        """
+        results: list[GestureStepResult] = []
+        prev_hypothesis: int | None = None
+        failed = False
+        with self.session_lock(session_id):
+            for step in steps:
+                if failed:
+                    results.append(GestureStepResult(
+                        step, ok=False, error="NOT_EXECUTED: earlier gesture "
+                        "step failed", executed=False, hypothesis_id=None,
+                        latency_s=0.0,
+                    ))
+                    continue
+                start = time.perf_counter()
+                try:
+                    hyp_id = self._execute_gesture_step(
+                        session_id, step, prev_hypothesis, reject_exhausted
+                    )
+                except Exception as exc:  # noqa: BLE001 - slot, not crash
+                    results.append(GestureStepResult(
+                        step, ok=False, error=f"{type(exc).__name__}: {exc}",
+                        executed=True, hypothesis_id=None,
+                        latency_s=time.perf_counter() - start,
+                    ))
+                    failed = True
+                    continue
+                if hyp_id is not None:
+                    prev_hypothesis = hyp_id
+                results.append(GestureStepResult(
+                    step, ok=True, error=None, executed=True,
+                    hypothesis_id=hyp_id,
+                    latency_s=time.perf_counter() - start,
+                ))
+        return results
+
+    def _execute_gesture_step(
+        self,
+        session_id: str,
+        step: GestureStep,
+        prev_hypothesis: int | None,
+        reject_exhausted: bool,
+    ) -> int | None:
+        """One gesture verb (lock already held); returns its hypothesis id."""
+        if step.verb == "show":
+            result = self.show(
+                session_id, step.attribute, where=step.where, bins=step.bins,
+                descriptive=step.descriptive, reject_exhausted=reject_exhausted,
+            )
+            hyp = result.hypothesis
+            return None if hyp is None else hyp.hypothesis_id
+        if step.verb not in ("star", "unstar"):
+            raise InvalidParameterError(
+                f"unknown gesture verb {step.verb!r}; known: show/star/unstar"
+            )
+        hyp_id = step.hypothesis_id
+        if hyp_id is None:
+            # The wire protocol rejects a null hypothesis_id; diverging
+            # here would break the cross-transport log equivalence.
+            raise InvalidParameterError(
+                f"{step.verb} needs a hypothesis_id "
+                f"(an int or {PREV_HYPOTHESIS!r})"
+            )
+        if hyp_id == PREV_HYPOTHESIS:
+            if prev_hypothesis is None:
+                raise InvalidParameterError(
+                    f"{PREV_HYPOTHESIS!r} used before any gesture step "
+                    "produced a hypothesis"
+                )
+            hyp_id = prev_hypothesis
+        verb = self.star if step.verb == "star" else self.unstar
+        return verb(session_id, int(hyp_id)).hypothesis_id
 
     def _show_locked(
         self,

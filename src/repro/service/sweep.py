@@ -3,9 +3,10 @@
 The paper's interactivity argument (Sec. 3) is a *latency* argument, and
 Hardt & Ullman's hardness result makes *many adaptive analysts* the
 stressful regime — so the scale surface worth measuring is the grid of
-dataset size × concurrent sessions.  :class:`ScaleSweep` drives a
-:class:`~repro.service.manager.SessionManager` through that grid, one
-cell at a time:
+dataset size × concurrent sessions, and (since PR 4 made the v2 pipeline
+envelope the way real gesture traffic arrives) the **transport** the
+traffic crosses.  :class:`ScaleSweep` drives that grid one cell at a
+time:
 
 * every cell gets a **fresh zero-copy view** of the row-scale's base
   census (new object ⇒ empty mask/histogram caches), so each cell
@@ -15,24 +16,55 @@ cell at a time:
   deterministic (attribute, filter) pool, the "many analysts on the same
   dashboard" case where cross-session mask sharing should shine;
 * ``user-study`` workload — every session replays the fixed-order Exp. 2
-  user-study panels (attribute + accumulated filter chain) through the
-  service ``show()`` path.
+  user-study panels (attribute + accumulated filter chain);
+* both workloads are **compiled into multi-command gestures** (the
+  show→star($prev)→show…​ burst one UI interaction emits, starring the
+  gesture's opening hypothesis when the analyst revisits it) and driven
+  through one of three transports:
 
-Each cell reports mean/p95 per-show latency, aggregate throughput, the
-combined shared-cache (mask + histogram) hit rate, and discovery counts;
-:func:`append_record`
-appends one attributable record (git sha, python, machine, grid) to
-``BENCH_scale.json`` so runs accumulate instead of overwriting.
+  - ``manager`` — direct dispatch through
+    :meth:`~repro.service.manager.SessionManager.execute_gesture`, no
+    protocol layer (the in-process baseline);
+  - ``service`` — each command crosses the wire-protocol boundary as its
+    own :meth:`~repro.api.service.ExplorationService.handle` call, with
+    ``"$prev"`` resolved client-side from the previous response (the v1
+    client's only option);
+  - ``pipeline`` — the same gestures batched into v2 pipeline envelopes
+    (whole gestures only, ≤ 64 commands per envelope, server-side
+    ``"$prev"`` chaining): the many-analyst pipelined-traffic shape.
+
+  All three transports reject wealth-spending shows on an exhausted
+  session (the wire boundary's admission rule) and abort a gesture at
+  its first failure, so for the compiler's well-formed gestures (a star
+  always chains to a show earlier in its *own* gesture) the per-session
+  decision logs are **byte-identical** across transports — including
+  streams that exhaust mid-way — property-tested in
+  ``tests/property/test_property_transports.py``, the transport-axis
+  extension of the serial-vs-threaded and serial-vs-pipelined
+  equivalences.  (The envelope's ``abort_on_error`` scope is the whole
+  envelope, so a gesture mis-built to fail on its *first* step would
+  abort later gestures sharing its envelope; ``compile_gestures`` never
+  emits one.)
+
+Each cell reports mean/p95 per-show and per-gesture latency, aggregate
+throughput over *successful* shows (errored shows — e.g. on
+wealth-exhausted panels — are counted in ``errors``, never in
+throughput), the combined shared-cache hit rate, discovery counts, and —
+on ``pipeline`` cells — the ``pipeline_speedup`` ratio of the matching
+``service`` cell's mean gesture latency over its own.
+:func:`append_record` appends one attributable record (git sha, python,
+machine, grid) to ``BENCH_scale.json`` so runs accumulate instead of
+overwriting.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import gc
 import json
-import os
-import platform
-import subprocess
 import time
 from dataclasses import dataclass
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -41,7 +73,13 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.exploration.dataset import Dataset
 from repro.exploration.predicate import Predicate
-from repro.service.manager import SessionManager, ShowRequest
+from repro.ledger import append_ledger_record, run_metadata
+from repro.service.manager import (
+    PREV_HYPOTHESIS,
+    GestureStep,
+    ServiceStats,
+    SessionManager,
+)
 from repro.workloads.census import make_census
 from repro.workloads.user_study import make_user_study_workflow
 
@@ -49,7 +87,14 @@ __all__ = [
     "SweepCell",
     "ScaleSweep",
     "WORKLOADS",
+    "TRANSPORTS",
+    "GestureMeasurement",
+    "compile_gestures",
+    "run_gestures_manager",
+    "run_gestures_service",
+    "run_gestures_pipeline",
     "append_record",
+    "cell_bench_name",
     "format_cells",
     "run_metadata",
     "sweep_extra",
@@ -58,42 +103,90 @@ __all__ = [
 #: Workload names understood by the sweep.
 WORKLOADS: tuple[str, ...] = ("synthetic", "user-study")
 
+#: Transport axis: how gesture traffic reaches the engine.
+TRANSPORTS: tuple[str, ...] = ("manager", "service", "pipeline")
+
 #: Size of the shared (attribute, filter) pool for the synthetic workload.
 _SYNTHETIC_POOL_SIZE = 64
+
+#: Shows per compiled gesture (the gesture also stars its opening
+#: hypothesis, so a full gesture is ``1 + _GESTURE_SHOWS`` commands).
+_GESTURE_SHOWS = 3
+
+#: Commands per pipeline envelope.  Mirrors
+#: ``repro.api.protocol.MAX_PIPELINE_COMMANDS`` (pinned by a test);
+#: duplicated here so the module does not import the API layer at import
+#: time (``repro.service`` loads before ``repro.api`` can finish).
+_PIPELINE_MAX_COMMANDS = 64
 
 
 @dataclass(frozen=True)
 class SweepCell:
-    """Measured result of one (rows, sessions, workload) grid cell."""
+    """Measured result of one (rows, sessions, workload, transport) cell."""
 
     rows: int
     sessions: int
     workload: str
+    transport: str
     steps_per_session: int
+    gestures: int
+    total_commands: int
     total_shows: int
+    ok_shows: int
     errors: int
     mean_show_latency_ms: float
     p95_show_latency_ms: float
+    mean_gesture_latency_ms: float
+    p95_gesture_latency_ms: float
     wall_s: float
     throughput_shows_per_s: float
+    throughput_gestures_per_s: float
     cache_hit_rate: float
     discoveries: int
+    pipeline_speedup: float | None = None
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "rows": self.rows,
             "sessions": self.sessions,
             "workload": self.workload,
+            "transport": self.transport,
             "steps_per_session": self.steps_per_session,
+            "gestures": self.gestures,
+            "total_commands": self.total_commands,
             "total_shows": self.total_shows,
+            "ok_shows": self.ok_shows,
             "errors": self.errors,
             "mean_show_latency_ms": self.mean_show_latency_ms,
             "p95_show_latency_ms": self.p95_show_latency_ms,
+            "mean_gesture_latency_ms": self.mean_gesture_latency_ms,
+            "p95_gesture_latency_ms": self.p95_gesture_latency_ms,
             "wall_s": self.wall_s,
             "throughput_shows_per_s": self.throughput_shows_per_s,
+            "throughput_gestures_per_s": self.throughput_gestures_per_s,
             "cache_hit_rate": self.cache_hit_rate,
             "discoveries": self.discoveries,
         }
+        if self.pipeline_speedup is not None:
+            payload["pipeline_speedup"] = self.pipeline_speedup
+        return payload
+
+
+def cell_bench_name(
+    rows: int, sessions: int, workload: str, transport: str = "manager"
+) -> str:
+    """The stable benchmark name a sweep cell is gated under.
+
+    ``benchmarks/check_regression.py`` derives the same names from raw
+    ledger cells (it stays stdlib-only and cannot import this module);
+    ``tests/service/test_check_regression.py`` pins the two in sync.
+    """
+    return f"scale_{rows}x{sessions}_{workload}_{transport}"
+
+
+# ---------------------------------------------------------------------------
+# Workload streams
+# ---------------------------------------------------------------------------
 
 
 def _synthetic_pool(dataset: Dataset, seed: int) -> list[tuple[str, Predicate]]:
@@ -123,61 +216,330 @@ def _synthetic_pool(dataset: Dataset, seed: int) -> list[tuple[str, Predicate]]:
     return pool
 
 
-def _synthetic_requests(
-    dataset: Dataset, session_ids: Sequence[str], steps: int, seed: int
-) -> list[ShowRequest]:
-    """Round-robin request stream: each session draws from the shared pool."""
+def _synthetic_streams(
+    dataset: Dataset, n_sessions: int, steps: int, seed: int
+) -> list[list[tuple[str, Predicate]]]:
+    """Per-session panel streams drawn from the shared deterministic pool."""
     pool = _synthetic_pool(dataset, seed)
-    per_session: list[list[ShowRequest]] = []
-    for s_idx, sid in enumerate(session_ids):
+    streams: list[list[tuple[str, Predicate]]] = []
+    for s_idx in range(n_sessions):
         rng = np.random.default_rng(np.random.SeedSequence([seed, 1 + s_idx]))
         picks = rng.integers(len(pool), size=steps)
-        per_session.append(
-            [ShowRequest(sid, pool[int(p)][0], where=pool[int(p)][1]) for p in picks]
-        )
-    return _interleave(per_session)
+        streams.append([pool[int(p)] for p in picks])
+    return streams
 
 
-def _user_study_requests(
-    dataset: Dataset, session_ids: Sequence[str], steps: int, seed: int
-) -> list[ShowRequest]:
+def _user_study_streams(
+    dataset: Dataset, n_sessions: int, steps: int, seed: int
+) -> list[list[tuple[str, Predicate]]]:
     """Every session replays the same fixed-order user-study panels."""
     workflow = make_user_study_workflow(dataset, n_steps=steps, seed=seed)
-    per_session = [
-        [
-            ShowRequest(sid, step.target_attribute, where=step.predicate)
-            for step in workflow.steps
-        ]
-        for sid in session_ids
-    ]
-    return _interleave(per_session)
+    stream = [(step.target_attribute, step.predicate) for step in workflow.steps]
+    return [list(stream) for _ in range(n_sessions)]
 
 
-def _interleave(per_session: list[list[ShowRequest]]) -> list[ShowRequest]:
-    """Round-robin merge, mimicking concurrent arrival across sessions."""
-    out: list[ShowRequest] = []
-    for batch in zip(*per_session):
-        out.extend(batch)
+def compile_gestures(
+    panels: Sequence[tuple[str, Predicate]],
+    shows_per_gesture: int = _GESTURE_SHOWS,
+) -> list[tuple[GestureStep, ...]]:
+    """Compile a flat panel stream into multi-command gestures.
+
+    Consecutive panels group into gestures of up to *shows_per_gesture*
+    shows; each gesture stars its opening hypothesis via ``"$prev"``
+    right after the first show (the analyst bookmarking the panel they
+    came back to) — the show→star→show shape of the API gesture
+    benchmarks.  Every show step keeps its position in the stream, so
+    the decision sequence is independent of the gesture grouping.
+    """
+    if shows_per_gesture < 1:
+        raise InvalidParameterError("shows_per_gesture must be >= 1")
+    gestures: list[tuple[GestureStep, ...]] = []
+    for start in range(0, len(panels), shows_per_gesture):
+        group = panels[start:start + shows_per_gesture]
+        steps: list[GestureStep] = []
+        for index, (attribute, where) in enumerate(group):
+            steps.append(GestureStep("show", attribute=attribute, where=where))
+            if index == 0:
+                steps.append(
+                    GestureStep("star", hypothesis_id=PREV_HYPOTHESIS)
+                )
+        gestures.append(tuple(steps))
+    return gestures
+
+
+# ---------------------------------------------------------------------------
+# Transport runners
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GestureMeasurement:
+    """Measured outcome of one gesture through one transport.
+
+    ``show_latencies`` holds per-show seconds for *successful* shows;
+    on the ``pipeline`` transport an envelope is one round trip, so both
+    the gesture latency and the show latencies are the envelope's wall
+    time amortized over its gestures/commands (documented estimate, not
+    a per-command measurement).
+    """
+
+    latency_s: float
+    commands: int
+    shows: int
+    ok_shows: int
+    errors: int
+    show_latencies: tuple[float, ...]
+
+
+def run_gestures_manager(
+    manager: SessionManager,
+    session_id: str,
+    gestures: Sequence[Sequence[GestureStep]],
+) -> list[GestureMeasurement]:
+    """``manager`` transport: direct ``execute_gesture`` dispatch."""
+    out: list[GestureMeasurement] = []
+    for gesture in gestures:
+        start = time.perf_counter()
+        results = manager.execute_gesture(session_id, gesture)
+        wall = time.perf_counter() - start
+        shows = [r for r in results if r.step.verb == "show"]
+        ok_shows = [r for r in shows if r.ok]
+        out.append(GestureMeasurement(
+            latency_s=wall,
+            commands=len(results),
+            shows=len(shows),
+            ok_shows=len(ok_shows),
+            errors=sum(1 for r in results if not r.ok),
+            show_latencies=tuple(r.latency_s for r in ok_shows),
+        ))
     return out
 
 
+def _step_wire(step: GestureStep, session_id: str) -> dict:
+    """The flat wire form of one gesture step (no ``v``: caller adds it)."""
+    from repro.api.protocol import predicate_to_dict
+
+    if step.verb == "show":
+        payload: dict = {"cmd": "show", "session_id": session_id,
+                         "attribute": step.attribute}
+        if step.where is not None:
+            payload["where"] = predicate_to_dict(step.where)
+        if step.bins is not None:
+            payload["bins"] = step.bins
+        if step.descriptive:
+            payload["descriptive"] = True
+        return payload
+    if step.verb in ("star", "unstar"):
+        return {"cmd": step.verb, "session_id": session_id,
+                "hypothesis_id": step.hypothesis_id}
+    raise InvalidParameterError(f"gesture verb {step.verb!r} has no wire form")
+
+
+def _result_hypothesis(result: dict) -> int | None:
+    """The hypothesis id a successful wire result names, if any."""
+    hypothesis = result.get("hypothesis")
+    if hypothesis is None:
+        return None
+    return int(hypothesis["id"])
+
+
+def _wire_call(service, request: dict) -> dict:
+    """One wire-faithful boundary crossing: JSON text in, JSON text out.
+
+    The ``service``/``pipeline`` transports measure the *protocol
+    boundary*, and what crosses a protocol boundary is JSON text — so
+    both the request and the response are serialized and re-parsed
+    around ``handle_dict`` (the ``bench_service_show`` convention in
+    ``benchmarks/run_api_bench.py``).  This is also exactly the cost
+    pipelining amortizes in-process: per-message codec fixed costs,
+    paid once per envelope instead of once per command.
+    """
+    envelope = service.handle_dict(json.loads(json.dumps(request)))
+    return json.loads(json.dumps(envelope))
+
+
+def run_gestures_service(
+    service, session_id: str, gestures: Sequence[Sequence[GestureStep]]
+) -> list[GestureMeasurement]:
+    """``service`` transport: one ``handle()`` round trip per command.
+
+    Every request and response crosses the boundary as JSON text (see
+    :func:`_wire_call`).  ``"$prev"`` must be resolved *client-side*
+    (the protocol rejects the token outside a pipeline): the driver
+    parses each response and chains the id into the next command, and a
+    failed show aborts the rest of its gesture — exactly what a v1
+    client has to do, and the same abort/exhaustion semantics as the
+    other two transports.
+    """
+    out: list[GestureMeasurement] = []
+    for gesture in gestures:
+        prev: int | None = None
+        failed = False
+        gesture_start = time.perf_counter()
+        commands = shows = ok_shows = errors = 0
+        show_latencies: list[float] = []
+        for step in gesture:
+            commands += 1
+            if step.verb == "show":
+                shows += 1
+            if failed:
+                errors += 1
+                continue
+            wire = _step_wire(step, session_id)
+            if wire.get("hypothesis_id") == PREV_HYPOTHESIS:
+                if prev is None:
+                    errors += 1
+                    failed = True
+                    continue
+                wire["hypothesis_id"] = prev
+            wire["v"] = 2
+            start = time.perf_counter()
+            envelope = _wire_call(service, wire)
+            latency = time.perf_counter() - start
+            if not envelope["ok"]:
+                errors += 1
+                failed = True
+                continue
+            hyp_id = _result_hypothesis(envelope["result"])
+            if hyp_id is not None:
+                prev = hyp_id
+            if step.verb == "show":
+                ok_shows += 1
+                show_latencies.append(latency)
+        out.append(GestureMeasurement(
+            latency_s=time.perf_counter() - gesture_start,
+            commands=commands,
+            shows=shows,
+            ok_shows=ok_shows,
+            errors=errors,
+            show_latencies=tuple(show_latencies),
+        ))
+    return out
+
+
+def _chunk_gestures(
+    gestures: Sequence[Sequence[GestureStep]], max_commands: int
+) -> list[list[Sequence[GestureStep]]]:
+    """Greedy-pack whole gestures into ≤ *max_commands* envelopes.
+
+    A gesture is never split across envelopes: ``"$prev"`` does not
+    cross envelope boundaries, so splitting one would strand its star.
+    """
+    chunks: list[list[Sequence[GestureStep]]] = []
+    current: list[Sequence[GestureStep]] = []
+    size = 0
+    for gesture in gestures:
+        if len(gesture) > max_commands:
+            raise InvalidParameterError(
+                f"gesture of {len(gesture)} commands exceeds the "
+                f"{max_commands}-command envelope bound"
+            )
+        if current and size + len(gesture) > max_commands:
+            chunks.append(current)
+            current, size = [], 0
+        current.append(gesture)
+        size += len(gesture)
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def run_gestures_pipeline(
+    service,
+    session_id: str,
+    gestures: Sequence[Sequence[GestureStep]],
+    max_commands: int | None = None,
+) -> list[GestureMeasurement]:
+    """``pipeline`` transport: gestures batched into v2 envelopes.
+
+    Whole gestures pack greedily into ``abort_on_error`` envelopes of at
+    most *max_commands* commands (default: the protocol's 64-command
+    bound, via :data:`_PIPELINE_MAX_COMMANDS`) with server-side
+    ``"$prev"`` chaining, each crossing the boundary as JSON text (see
+    :func:`_wire_call`).  One envelope is one round trip, so
+    per-gesture/per-show latencies are the envelope wall time amortized
+    over its contents.  Building the envelope is timed — the
+    per-command transport pays its request building inside the
+    measurement too.
+    """
+    if max_commands is None:
+        max_commands = _PIPELINE_MAX_COMMANDS
+    out: list[GestureMeasurement] = []
+    for chunk in _chunk_gestures(gestures, max_commands):
+        start = time.perf_counter()
+        wire_commands = [
+            _step_wire(step, session_id) for gesture in chunk for step in gesture
+        ]
+        envelope = {"v": 2, "cmd": "pipeline",
+                    "failure_policy": "abort_on_error",
+                    "commands": wire_commands}
+        response = _wire_call(service, envelope)
+        wall = time.perf_counter() - start
+        if response["ok"]:
+            slots = response["result"]["slots"]
+        else:  # envelope rejected pre-dispatch: every slot failed
+            slots = [{"ok": False}] * len(wire_commands)
+        per_gesture = wall / len(chunk)
+        per_command = wall / len(wire_commands)
+        cursor = 0
+        for gesture in chunk:
+            gesture_slots = slots[cursor:cursor + len(gesture)]
+            cursor += len(gesture)
+            shows = [
+                slot for step, slot in zip(gesture, gesture_slots)
+                if step.verb == "show"
+            ]
+            ok_shows = sum(1 for slot in shows if slot["ok"])
+            out.append(GestureMeasurement(
+                latency_s=per_gesture,
+                commands=len(gesture),
+                shows=len(shows),
+                ok_shows=ok_shows,
+                errors=sum(1 for slot in gesture_slots if not slot["ok"]),
+                show_latencies=tuple([per_command] * ok_shows),
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The sweep driver
+# ---------------------------------------------------------------------------
+
+
 class ScaleSweep:
-    """Driver for the (rows × sessions × workload) benchmark grid.
+    """Driver for the (rows × sessions × workload × transport) grid.
 
     Parameters
     ----------
     rows_grid / sessions_grid:
         The grid axes.  Cells run in increasing (rows, sessions) order.
     steps:
-        Panels per session per cell.
+        Panels per session per cell (compiled into gestures of
+        ``_GESTURE_SHOWS`` shows plus one star each).
     seed:
         Seeds the census, the workload generators, and nothing else.
     workloads:
         Subset of :data:`WORKLOADS` to run per grid point.
+    transports:
+        Subset of :data:`TRANSPORTS` to drive per (rows, sessions,
+        workload) point.  When both ``service`` and ``pipeline`` run,
+        each ``pipeline`` cell records the ``pipeline_speedup`` ratio
+        against its matching ``service`` cell.
+    procedure / procedure_kwargs:
+        The per-session streaming procedure (every session gets a fresh
+        instance — wealth is never shared).
     parallel:
-        Dispatch sessions on a thread pool (the service path) instead of
-        serially.  Decisions are identical either way — that is the
-        service contract — only latency changes.
+        Drive sessions concurrently on a thread pool (one worker per
+        session, gestures within a session strictly in order).
+        Decisions are identical either way — that is the service
+        contract — only latency changes.
+    repeats:
+        How many times each cell re-measures its workload (every repeat
+        on a fresh zero-copy view, so each one replays the same
+        cold-to-warm trajectory).  Counts in the cell describe one
+        replay; latency and throughput statistics pool every repeat's
+        samples — more repeats tighten the means (and with them the
+        ``pipeline_speedup`` ratio) against scheduler noise.
     """
 
     def __init__(
@@ -187,9 +549,12 @@ class ScaleSweep:
         steps: int = 40,
         seed: int = 0,
         workloads: Sequence[str] = WORKLOADS,
+        transports: Sequence[str] = TRANSPORTS,
         procedure: str = "epsilon-hybrid",
+        procedure_kwargs: dict | None = None,
         parallel: bool = True,
         max_workers: int | None = None,
+        repeats: int = 1,
     ) -> None:
         if not rows_grid or min(rows_grid) < 100:
             raise InvalidParameterError("rows_grid values must be >= 100")
@@ -202,81 +567,293 @@ class ScaleSweep:
             raise InvalidParameterError(
                 f"unknown workloads {sorted(unknown)}; known: {list(WORKLOADS)}"
             )
+        unknown = set(transports) - set(TRANSPORTS)
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown transports {sorted(unknown)}; known: {list(TRANSPORTS)}"
+            )
+        if not transports:
+            raise InvalidParameterError("transports must not be empty")
+        if repeats < 1:
+            raise InvalidParameterError("repeats must be >= 1")
         self.rows_grid = tuple(sorted(set(int(r) for r in rows_grid)))
         self.sessions_grid = tuple(sorted(set(int(s) for s in sessions_grid)))
         self.steps = int(steps)
         self.seed = int(seed)
         self.workloads = tuple(workloads)
+        # Canonical axis order (deduped, like the numeric grids): the
+        # speedup annotation in run() needs each grid point's service
+        # cell measured before its pipeline cell, whatever order the
+        # caller listed the transports in.
+        self.transports = tuple(
+            t for t in TRANSPORTS if t in set(transports)
+        )
         self.procedure = procedure
+        self.procedure_kwargs = dict(procedure_kwargs or {})
         self.parallel = parallel
         self.max_workers = max_workers
+        self.repeats = int(repeats)
 
     def run(self, progress: Callable[[str], None] | None = None) -> list[SweepCell]:
-        """Run every grid cell; returns the cells in execution order."""
+        """Run every grid cell; returns the cells in execution order.
+
+        The transport axis is innermost, so when both ``service`` and
+        ``pipeline`` are selected the ``pipeline`` cell of each grid
+        point is annotated with its speedup over the matching
+        ``service`` cell (same rows/sessions/workload, same machine,
+        same run — cross-machine noise cancels out of the ratio).
+        """
         say = progress or (lambda _msg: None)
+        self._warmup()
         cells: list[SweepCell] = []
+        service_cells: dict[tuple, SweepCell] = {}
         for rows in self.rows_grid:
             say(f"generating census: {rows} rows")
             base = make_census(rows, seed=self.seed)
             for n_sessions in self.sessions_grid:
                 for workload in self.workloads:
-                    say(f"cell rows={rows} sessions={n_sessions} workload={workload}")
-                    cells.append(self.run_cell(base, n_sessions, workload))
+                    for transport in self.transports:
+                        say(f"cell rows={rows} sessions={n_sessions} "
+                            f"workload={workload} transport={transport}")
+                        cell = self.run_cell(base, n_sessions, workload,
+                                             transport)
+                        key = (cell.rows, n_sessions, workload)
+                        if transport == "service":
+                            service_cells[key] = cell
+                        elif transport == "pipeline":
+                            cell = self._annotate_speedup(
+                                cell, service_cells.get(key)
+                            )
+                        cells.append(cell)
         return cells
 
-    def run_cell(self, base: Dataset, n_sessions: int, workload: str) -> SweepCell:
-        """Measure one grid cell on a fresh view of *base*."""
+    @staticmethod
+    def _annotate_speedup(
+        cell: SweepCell, service_cell: SweepCell | None
+    ) -> SweepCell:
+        """Record the service/pipeline gesture-latency ratio, if meaningful.
+
+        The ratio is only recorded when *both* cells mostly served their
+        gesture traffic (``ok_shows > errors``): on a cell dominated by
+        wealth-exhausted error envelopes the "gesture latency" on either
+        side is mostly error-path cost — a batching ratio over it would
+        be noise dressed up as a result, so such cells carry no
+        ``pipeline_speedup`` (they are admission-control stress cells,
+        not batched-gesture measurements).
+        """
+        if (
+            service_cell is None
+            or service_cell.mean_gesture_latency_ms <= 0
+            or cell.mean_gesture_latency_ms <= 0
+            or service_cell.ok_shows <= service_cell.errors
+            or cell.ok_shows <= cell.errors
+        ):
+            return cell
+        return dataclasses.replace(
+            cell,
+            pipeline_speedup=service_cell.mean_gesture_latency_ms
+            / cell.mean_gesture_latency_ms,
+        )
+
+    def _warmup(self) -> None:
+        """Exercise every selected transport once on a throwaway dataset.
+
+        The first traversal of a dispatch path in a fresh process pays
+        one-time costs (lazy imports, bytecode warm-up) that would load
+        whichever cell happens to run first — for the ``pipeline``
+        transport a small cell is a *single* envelope, so that one-time
+        cost would dominate its mean and poison the speedup ratio.
+        Warming up on a separate tiny census keeps the measured cells'
+        caches and hit counters untouched.
+        """
+        base = make_census(500, seed=self.seed)
+        gestures = compile_gestures(_synthetic_streams(base, 1, 4, self.seed)[0])
+        for transport in self.transports:
+            manager = SessionManager()
+            manager.register_dataset(base, name="warmup")
+            sid = manager.create_session("warmup", procedure=self.procedure,
+                                         **self.procedure_kwargs)
+            if transport == "manager":
+                run_gestures_manager(manager, sid, gestures)
+            else:
+                from repro.api.service import ExplorationService
+
+                service = ExplorationService(manager=manager, max_sessions=None)
+                if transport == "service":
+                    run_gestures_service(service, sid, gestures)
+                else:
+                    run_gestures_pipeline(service, sid, gestures)
+
+    def run_cell(
+        self,
+        base: Dataset,
+        n_sessions: int,
+        workload: str,
+        transport: str = "manager",
+    ) -> SweepCell:
+        """Measure one grid cell; ``repeats`` replays pool their samples.
+
+        Every repeat runs on its own fresh view (same cold-to-warm
+        trajectory, deterministic workload ⇒ identical counts and
+        decisions), so pooling the latency samples is averaging
+        measurements of the *same* experiment, not mixing different
+        ones.
+        """
+        if transport not in TRANSPORTS:
+            raise InvalidParameterError(
+                f"unknown transport {transport!r}; known: {list(TRANSPORTS)}"
+            )
+        flat: list[GestureMeasurement] = []
+        total_wall = 0.0
+        for _ in range(self.repeats):
+            repeat_flat, wall, stats, discoveries, rows = self._measure_once(
+                base, n_sessions, workload, transport
+            )
+            flat.extend(repeat_flat)
+            total_wall += wall
+        per_repeat = len(flat) // self.repeats
+        gesture_latencies = np.array([m.latency_s for m in flat], dtype=float)
+        show_latencies = np.array(
+            [s for m in flat for s in m.show_latencies], dtype=float
+        )
+        ok_shows = sum(m.ok_shows for m in flat)
+        return SweepCell(
+            rows=rows,
+            sessions=n_sessions,
+            workload=workload,
+            transport=transport,
+            steps_per_session=self.steps,
+            # Counts describe one replay of the workload (identical
+            # across repeats); latency/throughput pool every repeat.
+            gestures=per_repeat,
+            total_commands=sum(m.commands for m in flat) // self.repeats,
+            total_shows=sum(m.shows for m in flat) // self.repeats,
+            ok_shows=ok_shows // self.repeats,
+            errors=sum(m.errors for m in flat) // self.repeats,
+            mean_show_latency_ms=(
+                float(show_latencies.mean() * 1e3) if show_latencies.size else 0.0
+            ),
+            p95_show_latency_ms=(
+                float(np.percentile(show_latencies, 95) * 1e3)
+                if show_latencies.size else 0.0
+            ),
+            mean_gesture_latency_ms=(
+                float(gesture_latencies.mean() * 1e3)
+                if gesture_latencies.size else 0.0
+            ),
+            p95_gesture_latency_ms=(
+                float(np.percentile(gesture_latencies, 95) * 1e3)
+                if gesture_latencies.size else 0.0
+            ),
+            wall_s=float(total_wall / self.repeats),
+            # Only *successful* shows count toward throughput: a cell
+            # whose panels die on an exhausted wealth ledger must not
+            # report error envelopes as served work.
+            throughput_shows_per_s=(
+                float(ok_shows / total_wall) if total_wall > 0 else 0.0
+            ),
+            throughput_gestures_per_s=(
+                float(len(flat) / total_wall) if total_wall > 0 else 0.0
+            ),
+            cache_hit_rate=stats.shared_cache_hit_rate,
+            discoveries=discoveries,
+        )
+
+    def _measure_once(
+        self,
+        base: Dataset,
+        n_sessions: int,
+        workload: str,
+        transport: str,
+    ) -> tuple[list[GestureMeasurement], float, ServiceStats, int, int]:
+        """One replay of a cell's workload on a fresh view of *base*."""
         # Fresh object => empty caches; zero-copy, so even the 1M-row cell
         # costs an index array, not a column copy.
         dataset = base.select_index(
             np.arange(base.n_rows, dtype=np.intp), name=f"{base.name}[cell]"
         )
-        manager = SessionManager(max_workers=self.max_workers)
+        manager = SessionManager()
         manager.register_dataset(dataset, name="cell")
         session_ids = [
-            manager.create_session("cell", procedure=self.procedure)
+            manager.create_session("cell", procedure=self.procedure,
+                                   **self.procedure_kwargs)
             for _ in range(n_sessions)
         ]
+        service = None
+        if transport in ("service", "pipeline"):
+            from repro.api.service import ExplorationService
+
+            service = ExplorationService(manager=manager, max_sessions=None)
         # Workload generation probes predicate masks (the user-study
-        # generator evaluates filter prevalence), so build the request
+        # generator evaluates filter prevalence), so build the panel
         # streams against *base* — never the measured view — or the
         # cell would start with warmed caches and polluted hit counters.
-        # Requests carry only structural predicates, valid on any view.
+        # Panels carry only structural predicates, valid on any view.
         if workload == "synthetic":
-            requests = _synthetic_requests(base, session_ids, self.steps, self.seed)
+            streams = _synthetic_streams(base, n_sessions, self.steps, self.seed)
         else:
-            requests = _user_study_requests(base, session_ids, self.steps, self.seed)
+            streams = _user_study_streams(base, n_sessions, self.steps, self.seed)
+        gestures_per_session = [compile_gestures(stream) for stream in streams]
+
+        measurements: list[list[GestureMeasurement]] = [
+            [] for _ in range(n_sessions)
+        ]
+
+        def run_session(index: int) -> None:
+            sid = session_ids[index]
+            gestures = gestures_per_session[index]
+            if transport == "manager":
+                measurements[index] = run_gestures_manager(manager, sid, gestures)
+            elif transport == "service":
+                measurements[index] = run_gestures_service(service, sid, gestures)
+            else:
+                measurements[index] = run_gestures_pipeline(service, sid, gestures)
+
+        use_pool = (
+            self.parallel
+            and n_sessions > 1
+            and (self.max_workers is None or self.max_workers > 1)
+        )
+        # GC pauses land on whichever envelope happens to be in flight —
+        # on a one-envelope cell that single spike *is* the mean, so the
+        # collector is paused for the measured section (the standard
+        # microbenchmark discipline; pytest-benchmark does the same).
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
         start = time.perf_counter()
-        responses = manager.dispatch(requests, parallel=self.parallel)
-        wall = time.perf_counter() - start
-        latencies = np.array([r.latency_s for r in responses if r.ok], dtype=float)
-        errors = sum(1 for r in responses if not r.ok)
+        try:
+            if use_pool:
+                with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                    futures = [
+                        pool.submit(run_session, i) for i in range(n_sessions)
+                    ]
+                    for fut in futures:
+                        fut.result()
+            else:
+                for i in range(n_sessions):
+                    run_session(i)
+        finally:
+            wall = time.perf_counter() - start
+            if gc_was_enabled:
+                gc.enable()
+
+        flat = [m for per_session in measurements for m in per_session]
         stats = manager.stats()
         discoveries = sum(
             len(manager.session(sid).discoveries()) for sid in session_ids
         )
-        return SweepCell(
-            rows=dataset.n_rows,
-            sessions=n_sessions,
-            workload=workload,
-            steps_per_session=self.steps,
-            total_shows=len(responses),
-            errors=errors,
-            mean_show_latency_ms=float(latencies.mean() * 1e3) if latencies.size else 0.0,
-            p95_show_latency_ms=(
-                float(np.percentile(latencies, 95) * 1e3) if latencies.size else 0.0
-            ),
-            wall_s=float(wall),
-            throughput_shows_per_s=float(len(responses) / wall) if wall > 0 else 0.0,
-            cache_hit_rate=stats.shared_cache_hit_rate,
-            discoveries=discoveries,
-        )
+        return flat, wall, stats, discoveries, dataset.n_rows
 
 
 def sweep_extra(sweep: ScaleSweep, label: str | None = None) -> dict:
     """Canonical record extras for *sweep* (single-sited so the CLI and
     the benchmarks script can never drift on the ledger schema)."""
-    extra = {"steps": sweep.steps, "seed": sweep.seed, "parallel": sweep.parallel}
+    extra = {
+        "steps": sweep.steps,
+        "seed": sweep.seed,
+        "parallel": sweep.parallel,
+        "transports": list(sweep.transports),
+    }
     if label:
         extra["label"] = label
     return extra
@@ -285,46 +862,21 @@ def sweep_extra(sweep: ScaleSweep, label: str | None = None) -> dict:
 def format_cells(cells: Sequence[SweepCell]) -> str:
     """Fixed-width table of sweep cells (shared by both entry points)."""
     header = (
-        f"{'rows':>9} {'sessions':>8} {'workload':>10} {'shows':>6} "
-        f"{'mean ms':>8} {'p95 ms':>8} {'shows/s':>9} {'hit%':>6} {'disc':>5}"
+        f"{'rows':>9} {'sessions':>8} {'workload':>10} {'transport':>9} "
+        f"{'shows':>6} {'err':>4} {'gest ms':>8} {'show ms':>8} "
+        f"{'shows/s':>9} {'hit%':>6} {'disc':>5} {'spdup':>6}"
     )
     lines = [header, "-" * len(header)]
     for c in cells:
+        speedup = f"{c.pipeline_speedup:.2f}x" if c.pipeline_speedup else "-"
         lines.append(
-            f"{c.rows:>9d} {c.sessions:>8d} {c.workload:>10} {c.total_shows:>6d} "
-            f"{c.mean_show_latency_ms:>8.3f} {c.p95_show_latency_ms:>8.3f} "
+            f"{c.rows:>9d} {c.sessions:>8d} {c.workload:>10} {c.transport:>9} "
+            f"{c.total_shows:>6d} {c.errors:>4d} "
+            f"{c.mean_gesture_latency_ms:>8.3f} {c.mean_show_latency_ms:>8.3f} "
             f"{c.throughput_shows_per_s:>9.0f} {c.cache_hit_rate:>6.1%} "
-            f"{c.discoveries:>5d}"
+            f"{c.discoveries:>5d} {speedup:>6}"
         )
     return "\n".join(lines)
-
-
-def run_metadata() -> dict:
-    """Attribution block for benchmark records (sha, python, machine).
-
-    Mirrors ``benchmarks/run_benchmarks.py``: on detached/shallow CI
-    checkouts where ``git rev-parse`` fails, ``GITHUB_SHA`` keeps the
-    record attributable.
-    """
-    sha = "unknown"
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True,
-            text=True,
-            check=True,
-            cwd=Path(__file__).resolve().parent,
-        )
-        sha = out.stdout.strip() or "unknown"
-    except (OSError, subprocess.CalledProcessError):
-        pass
-    if sha == "unknown":
-        sha = os.environ.get("GITHUB_SHA", "unknown")
-    return {
-        "git_sha": sha,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
 
 
 def append_record(
@@ -338,20 +890,6 @@ def append_record(
     run appends one record (metadata + its grid cells) so history
     accumulates across machines and commits.  Returns the record written.
     """
-    path = Path(path)
-    if path.exists():
-        payload = json.loads(path.read_text())
-        if payload.get("suite") != "scale-sweep" or not isinstance(
-            payload.get("records"), list
-        ):
-            raise InvalidParameterError(f"{path} is not a scale-sweep ledger")
-    else:
-        payload = {"suite": "scale-sweep", "records": []}
-    record = dict(run_metadata())
-    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
-    if extra:
-        record.update(extra)
-    record["cells"] = [c.to_dict() for c in cells]
-    payload["records"].append(record)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return record
+    fields = dict(extra or {})
+    fields["cells"] = [c.to_dict() for c in cells]
+    return append_ledger_record(path, "scale-sweep", fields)

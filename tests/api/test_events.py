@@ -57,6 +57,51 @@ class TestEventBroker:
         sub.close()
         assert broker.publish("s1", {"type": "gauge"}) == 0
 
+    def test_close_unblocks_a_parked_iterator(self):
+        """Regression: close() must enqueue the terminal sentinel itself.
+        A consumer thread blocked in ``__iter__`` (bare ``Queue.get()``,
+        no timeout) would otherwise hang forever once its subscription
+        is closed from another thread."""
+        import threading
+        import time
+
+        broker = EventBroker()
+        sub = broker.subscribe("s1")
+        events = []
+
+        def consume():
+            events.extend(sub)  # parks in queue.get() immediately
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        # prove the consumer reached its blocking get(): publish a probe
+        # and wait until it has been drained from the queue
+        broker.publish("s1", {"type": "gauge"})
+        deadline = time.monotonic() + 5.0
+        while (not events or sub.pending()) and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert events and events[0]["type"] == "gauge"
+        sub.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive(), "consumer never unblocked after close()"
+        assert events[-1]["type"] == "end"
+        assert events[-1]["reason"] == "unsubscribed"
+
+    def test_close_is_idempotent_and_sends_one_sentinel(self):
+        broker = EventBroker()
+        sub = broker.subscribe("s1")
+        sub.close()
+        sub.close()
+        assert sub.pending() == 1  # exactly one terminal event queued
+
+    def test_broker_close_then_subscriber_close_no_double_end(self):
+        broker = EventBroker()
+        sub = broker.subscribe("s1")
+        broker.close_session("s1")
+        sub.close()  # already terminated by the broker: no second sentinel
+        events = list(sub)
+        assert [e["type"] for e in events] == ["end"]
+
     def test_end_event_reaches_a_full_queue(self):
         """The terminal event must never be dropped by backpressure: a
         subscriber that stopped draining still sees its stream end."""

@@ -202,6 +202,26 @@ class TestExecution:
                 == slots[3]["result"]["wealth"])
 
 
+class TestPipelineObservability:
+    def test_stats_count_pipelines_and_commands(self, service):
+        sid = _session(service)
+        stats = service.handle_dict({"v": 2, "cmd": "stats"})["result"]
+        assert stats["pipelines"] == 0
+        assert stats["pipeline_commands"] == 0
+        resp = service.handle_dict(_pipe(
+            sid,
+            _show(sid, "education",
+                  {"op": "eq", "column": "sex", "value": "Female"}),
+            {"cmd": "star", "session_id": sid, "hypothesis_id": "$prev"},
+            _show(sid, "age",
+                  {"op": "eq", "column": "sex", "value": "Female"}),
+        ))
+        assert resp["ok"], resp
+        stats = service.handle_dict({"v": 2, "cmd": "stats"})["result"]
+        assert stats["pipelines"] == 1
+        assert stats["pipeline_commands"] == 3
+
+
 class TestErrorEnvelopesInsidePipelines:
     def test_unknown_verb_rejects_whole_envelope_before_execution(self, service):
         """Strict parsing: a malformed slot means *nothing* runs — partial

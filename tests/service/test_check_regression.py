@@ -162,3 +162,83 @@ class TestRequireAndSpeedupGates:
                  "--min-speedup", "nonsense"]
             )
         assert exc_info.value.code == 2  # argparse usage error
+
+
+def _scale_record(cells: list[dict]) -> dict:
+    return {"suite": "scale-sweep", "records": [{"cells": cells}]}
+
+
+def _scale_cell(rows, sessions, workload, transport, gesture_ms) -> dict:
+    return {"rows": rows, "sessions": sessions, "workload": workload,
+            "transport": transport, "mean_gesture_latency_ms": gesture_ms,
+            "mean_show_latency_ms": gesture_ms / 3}
+
+
+class TestScaleCells:
+    def test_cells_become_named_pseudo_benchmarks(self, tmp_path):
+        path = tmp_path / "scale.json"
+        path.write_text(json.dumps(_scale_record([
+            _scale_cell(100_000, 16, "synthetic", "service", 2.0),
+            _scale_cell(100_000, 16, "synthetic", "pipeline", 1.0),
+        ])))
+        means = check_regression.load_means(path)
+        assert means == {
+            "scale_100000x16_synthetic_service": pytest.approx(2.0e-3),
+            "scale_100000x16_synthetic_pipeline": pytest.approx(1.0e-3),
+        }
+
+    def test_cell_names_match_the_sweep_module(self):
+        """The stdlib-only gate and the sweep library derive the same
+        names — pinned here so the two can never drift."""
+        from repro.service.sweep import cell_bench_name
+
+        cell = _scale_cell(10_000, 1, "user-study", "manager", 1.0)
+        assert (check_regression.scale_cell_name(cell)
+                == cell_bench_name(10_000, 1, "user-study", "manager"))
+
+    def test_legacy_cells_without_gesture_metric_are_skipped(self, tmp_path):
+        """Pre-transport-axis cells carry only show latency; gating that
+        under the same name as gesture latency would make every
+        baseline-vs-candidate scale comparison a false ~3-4x regression
+        (a gesture is several shows), so they yield no pseudo-benchmark."""
+        path = tmp_path / "scale.json"
+        cell = {"rows": 10_000, "sessions": 16, "workload": "synthetic",
+                "mean_show_latency_ms": 0.5}
+        path.write_text(json.dumps(_scale_record([cell])))
+        assert check_regression.load_means(path) == {}
+
+    def test_structural_gate_without_baseline(self, tmp_path, monkeypatch,
+                                              capsys):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        path = tmp_path / "scale.json"
+        path.write_text(json.dumps(_scale_record([
+            _scale_cell(100_000, 16, "synthetic", "service", 2.0),
+            _scale_cell(100_000, 16, "synthetic", "pipeline", 1.0),
+        ])))
+        rc = check_regression.main([
+            "--candidate", str(path),
+            "--require", "scale_100000x16_synthetic_pipeline",
+            "--min-speedup",
+            "scale_100000x16_synthetic_service:"
+            "scale_100000x16_synthetic_pipeline:1.0",
+        ])
+        assert rc == 0
+        assert "structural gate passed" in capsys.readouterr().out
+        rc = check_regression.main([
+            "--candidate", str(path),
+            "--require", "scale_100000x16_user-study_pipeline",
+        ])
+        assert rc == 1
+
+    def test_no_baseline_and_no_gates_is_a_usage_error(self, tmp_path):
+        path = _write(tmp_path, "cand.json", {"a": 1e-3})
+        with pytest.raises(SystemExit) as exc_info:
+            check_regression.main(["--candidate", str(path)])
+        assert exc_info.value.code == 2
+
+    def test_committed_scale_ledger_carries_transport_cells(self):
+        """The committed BENCH_scale.json's latest record must expose the
+        transport cells the CI gates require."""
+        means = check_regression.load_means(REPO_ROOT / "BENCH_scale.json")
+        for transport in ("manager", "service", "pipeline"):
+            assert f"scale_100000x16_synthetic_{transport}" in means

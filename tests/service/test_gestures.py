@@ -1,0 +1,195 @@
+"""SessionManager.execute_gesture: the manager-level pipeline twin."""
+
+import threading
+
+import pytest
+
+from repro.errors import SessionError, WealthExhaustedError
+from repro.exploration.predicate import Eq
+from repro.service.manager import (
+    PREV_HYPOTHESIS,
+    GestureStep,
+    SessionManager,
+)
+
+
+@pytest.fixture()
+def manager(census):
+    m = SessionManager()
+    m.register_dataset(census, name="census")
+    return m
+
+
+def _show(attribute, where=None, **kw):
+    return GestureStep("show", attribute=attribute, where=where, **kw)
+
+
+def _star(hypothesis_id=PREV_HYPOTHESIS):
+    return GestureStep("star", hypothesis_id=hypothesis_id)
+
+
+class TestExecution:
+    def test_show_star_show_resolves_prev(self, manager):
+        sid = manager.create_session("census")
+        results = manager.execute_gesture(sid, [
+            _show("education", Eq("sex", "Female")),
+            _star(),
+            _show("age", Eq("sex", "Female")),
+        ])
+        assert [r.ok for r in results] == [True, True, True]
+        assert results[1].hypothesis_id == results[0].hypothesis_id
+        assert manager.session(sid).hypothesis(
+            results[0].hypothesis_id).starred
+        # the star landed in the decision log as an event, in order
+        events = [r.event for r in manager.decision_log(sid)]
+        assert events == ["decision", "star", "decision"]
+
+    def test_prev_tracks_nearest_hypothesis(self, manager):
+        sid = manager.create_session("census")
+        results = manager.execute_gesture(sid, [
+            _show("education", Eq("sex", "Female")),
+            _show("age", Eq("sex", "Female")),
+            _star(),
+        ])
+        assert results[2].hypothesis_id == results[1].hypothesis_id
+
+    def test_concrete_hypothesis_id_still_accepted(self, manager):
+        sid = manager.create_session("census")
+        first = manager.execute_gesture(
+            sid, [_show("education", Eq("sex", "Female"))]
+        )[0]
+        results = manager.execute_gesture(sid, [
+            _show("age", Eq("sex", "Female")),
+            _star(first.hypothesis_id),
+        ])
+        assert results[1].ok
+        assert results[1].hypothesis_id == first.hypothesis_id
+
+    def test_descriptive_show_does_not_update_prev(self, manager):
+        sid = manager.create_session("census")
+        results = manager.execute_gesture(sid, [
+            _show("education", Eq("sex", "Female")),
+            _show("age", Eq("sex", "Male"), descriptive=True),
+            _star(),
+        ])
+        assert results[1].hypothesis_id is None
+        assert results[2].hypothesis_id == results[0].hypothesis_id
+
+    def test_unstar_verb(self, manager):
+        sid = manager.create_session("census")
+        results = manager.execute_gesture(sid, [
+            _show("education", Eq("sex", "Female")),
+            _star(),
+            GestureStep("unstar", hypothesis_id=PREV_HYPOTHESIS),
+        ])
+        assert all(r.ok for r in results)
+        assert not manager.session(sid).hypothesis(
+            results[0].hypothesis_id).starred
+
+
+class TestFailureSemantics:
+    def test_prev_before_any_hypothesis_fails_and_aborts(self, manager):
+        sid = manager.create_session("census")
+        results = manager.execute_gesture(sid, [
+            _star(),
+            _show("education", Eq("sex", "Female")),
+        ])
+        assert not results[0].ok and results[0].executed
+        assert PREV_HYPOTHESIS in results[0].error
+        assert not results[1].ok and not results[1].executed
+        assert "NOT_EXECUTED" in results[1].error
+        assert manager.decision_log(sid) == ()
+
+    def test_null_hypothesis_id_rejected_like_the_wire(self, manager):
+        """The protocol rejects a null hypothesis_id; the manager twin
+        must too, or the transports' logs diverge on this shape."""
+        sid = manager.create_session("census")
+        results = manager.execute_gesture(sid, [
+            _show("education", Eq("sex", "Female")),
+            GestureStep("star"),  # hypothesis_id=None: invalid everywhere
+        ])
+        assert results[0].ok
+        assert not results[1].ok and results[1].executed
+        events = [r.event for r in manager.decision_log(sid)]
+        assert events == ["decision"]  # no star was logged
+
+    def test_unknown_verb_fills_error_slot(self, manager):
+        sid = manager.create_session("census")
+        results = manager.execute_gesture(
+            sid, [GestureStep("teleport"), _show("age", Eq("sex", "Female"))]
+        )
+        assert not results[0].ok
+        assert not results[1].executed
+
+    def test_unknown_session_raises(self, manager):
+        with pytest.raises(SessionError):
+            manager.execute_gesture("ghost", [_show("age")])
+
+    def test_exhausted_session_rejects_spending_shows(self, manager):
+        sid = manager.create_session("census", procedure="gamma-fixed",
+                                     gamma=3.0)
+        dead_ends = [("sex", "workclass", "Private"),
+                     ("sex", "race", "GroupB"),
+                     ("education", "native_region", "North"),
+                     ("sex", "workclass", "Government")]
+        for target, attr, cat in dead_ends:
+            manager.execute_gesture(sid, [_show(target, Eq(attr, cat))])
+            if manager.session(sid).is_exhausted:
+                break
+        assert manager.session(sid).is_exhausted
+        before = manager.decision_log_bytes(sid)
+        results = manager.execute_gesture(sid, [
+            _show("sex", Eq("workclass", "Private")),
+            _star(),
+        ])
+        assert not results[0].ok
+        assert WealthExhaustedError.__name__ in results[0].error
+        assert not results[1].executed
+        # a rejected show spends nothing and logs nothing
+        assert manager.decision_log_bytes(sid) == before
+
+    def test_reject_exhausted_false_matches_legacy_dispatch(self, manager):
+        sid = manager.create_session("census", procedure="gamma-fixed",
+                                     gamma=3.0)
+        for _ in range(6):
+            manager.execute_gesture(
+                sid, [_show("sex", Eq("workclass", "Private"))],
+                reject_exhausted=False,
+            )
+        # never rejected, even though the ledger ran dry along the way
+        assert manager.session(sid).is_exhausted
+
+
+class TestAtomicity:
+    def test_gesture_is_one_critical_section(self, census):
+        """A concurrent show on the same session can never interleave
+        mid-gesture: its log entry lands before or after the gesture's
+        whole block of entries."""
+        manager = SessionManager()
+        manager.register_dataset(census, name="census")
+        sid = manager.create_session("census")
+        start = threading.Barrier(2)
+
+        def intruder():
+            start.wait()
+            manager.show(sid, "age", where=Eq("sex", "Male"))
+
+        thread = threading.Thread(target=intruder)
+        thread.start()
+        start.wait()
+        gesture = [
+            _show("education", Eq("sex", "Female")),
+            _star(),
+            _show("age", Eq("sex", "Female")),
+        ]
+        results = manager.execute_gesture(sid, gesture)
+        thread.join()
+        assert all(r.ok for r in results)
+        events = [(r.event, r.hypothesis_id) for r in manager.decision_log(sid)]
+        gesture_entries = [
+            (e, h) for e, h in events
+            if h in {r.hypothesis_id for r in results}
+        ]
+        # the gesture's three log entries are contiguous
+        first = events.index(gesture_entries[0])
+        assert events[first:first + len(gesture_entries)] == gesture_entries

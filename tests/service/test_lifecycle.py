@@ -112,6 +112,28 @@ class TestIdleEviction:
             manager.wealth(sid)
         assert not isinstance(exc_info.value, SessionEvictedError)
 
+    def test_tombstone_timestamps_are_clock_consistent(self, manager, clock):
+        """Regression: the tombstone used to mix timebases — wall-clock
+        ``evicted_at`` next to fake-clock ``idle_s``, mutually
+        inconsistent under an injectable clock.  The eviction moment on
+        the *clock's* timebase is now recorded deterministically as
+        ``evicted_at_monotonic``, from the same single reading as
+        ``idle_s``; ``evicted_at`` keeps its wire meaning (unix epoch,
+        attribution only)."""
+        import time as _time
+
+        sid = manager.create_session("census")
+        manager.show(sid, "age", where=Eq("sex", "Female"))
+        last_active = clock()
+        clock.advance(100.0)
+        manager.evict_idle()
+        tomb = manager.tombstone(sid)
+        assert tomb["evicted_at_monotonic"] == clock()  # deterministic
+        assert tomb["idle_s"] == 100.0
+        # the invariant the fix establishes: one clock reading for both
+        assert tomb["evicted_at_monotonic"] - tomb["idle_s"] == last_active
+        assert abs(tomb["evicted_at"] - _time.time()) < 60.0
+
     def test_tombstone_limit_drops_oldest(self, census, clock):
         m = SessionManager(idle_timeout=1.0, tombstone_limit=2, clock=clock)
         m.register_dataset(census, name="census")
