@@ -20,7 +20,12 @@ regression pinpoints *which* layer slowed down:
 * ``http_gesture_pipeline_batch16`` — sixteen gestures batched into a
   single envelope, reported **per gesture**, the high-throughput replay
   shape.  The record's top-level ``pipeline_speedup`` fields carry the
-  sequential/pipelined mean ratios the CI gate checks.
+  sequential/pipelined mean ratios the CI gate checks;
+* ``service_show_store_jsonl`` / ``service_show_store_sqlite`` — the
+  ``service_show`` dispatch with a write-ahead session store attached
+  (batch fsync, the serve default): the delta over ``service_show`` is
+  the per-show durability cost.  The top-level ``durable_overhead_*``
+  ratios make it a same-machine comparison the gate can require.
 
 The gesture panel (``salary_over_50k`` under ``education = PhD``) is a
 true effect, so its hypothesis keeps rejecting and α-investing keeps the
@@ -144,6 +149,32 @@ def bench_http(service: ExplorationService, rounds: int) -> tuple[dict, dict]:
     return show_stats, read_stats
 
 
+def bench_store_show(census, kind: str, rounds: int) -> dict:
+    """``service_show`` with a write-ahead store attached.
+
+    Same dispatch path as the in-memory ``service_show`` cell plus the
+    staged WAL commit per show — the difference between the two cells
+    *is* the durability overhead, measured per backend.  Uses the
+    batch fsync policy (the serve default).
+    """
+    import shutil
+    import tempfile
+
+    from repro.service import SessionManager
+    from repro.store import make_store
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    path = workdir / ("store" if kind == "jsonl" else "store.db")
+    try:
+        with make_store(kind, path) as store:
+            manager = SessionManager(store=store)
+            service = ExplorationService(manager=manager, max_sessions=None)
+            service.register_dataset(census, name="census")
+            return bench_service_show(service, rounds)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 #: Gestures per envelope in the batched-throughput cell (48 commands,
 #: inside the protocol's MAX_PIPELINE_COMMANDS bound).
 _BATCH_GESTURES = 16
@@ -248,15 +279,27 @@ def main(argv: list[str] | None = None) -> int:
     http_show, http_read = bench_http(service, args.rounds)
     benchmarks["http_show"] = http_show
     benchmarks["http_read"] = http_read
+    print("benchmarking store-backed service dispatch...", flush=True)
+    for kind in ("jsonl", "sqlite"):
+        benchmarks[f"service_show_store_{kind}"] = bench_store_show(
+            census, kind, args.rounds)
     print("benchmarking pipelined vs sequential gestures...", flush=True)
     benchmarks.update(bench_http_gestures(service, args.rounds))
 
     sequential = benchmarks["http_gesture_sequential"]["mean_s"]
+    in_memory = benchmarks["service_show"]["mean_s"]
     speedups = {
         "pipeline_speedup":
             sequential / benchmarks["http_gesture_pipeline"]["mean_s"],
         "pipeline_speedup_batch16":
             sequential / benchmarks["http_gesture_pipeline_batch16"]["mean_s"],
+        # durable WAL cost per show, as a ratio over the in-memory cell
+        # (same machine, same dispatch path — only the staged commit
+        # differs, so runner speed cancels out)
+        "durable_overhead_jsonl":
+            benchmarks["service_show_store_jsonl"]["mean_s"] / in_memory,
+        "durable_overhead_sqlite":
+            benchmarks["service_show_store_sqlite"]["mean_s"] / in_memory,
     }
 
     record = append_record(args.output, benchmarks, args.rows, extra=speedups)
@@ -269,6 +312,9 @@ def main(argv: list[str] | None = None) -> int:
           f"{speedups['pipeline_speedup']:.2f}x single gesture, "
           f"{speedups['pipeline_speedup_batch16']:.2f}x per gesture "
           f"batched x{_BATCH_GESTURES}")
+    print(f"  durable show overhead vs in-memory: "
+          f"{speedups['durable_overhead_jsonl']:.2f}x jsonl, "
+          f"{speedups['durable_overhead_sqlite']:.2f}x sqlite")
     return 0
 
 

@@ -38,7 +38,14 @@ request declares ``"v": 1``):
   (v1 clients may only retry read-only verbs).
 * ``SESSION_EVICTED`` envelopes (HTTP 410) — a session removed by the
   idle-timeout or capacity QoS policies answers with its recoverable
-  export payload in ``details``, never a silent 404.
+  export payload in ``details``, never a silent 404.  Against a
+  store-backed server the details also carry ``"recoverable": true``,
+  meaning the write-ahead log is still on disk and ``recover`` works.
+* ``{"cmd": "recover", "session_id": ...}`` — rebuild an evicted (or
+  crash-lost) session server-side by replaying its write-ahead log;
+  requires ``repro serve --store``.  Idempotent: recovering a live
+  session is a no-op reporting ``"recovered": false``.  Answers the
+  rebuilt wealth/gauge summary plus ``replayed``/``decisions`` counts.
 * the server-push event channel (``GET /v1/events/{session}``) replacing
   ``wealth`` polling.
 
@@ -46,6 +53,10 @@ Client code migration: :class:`Client` method signatures are unchanged;
 new code should use :meth:`Client.pipeline` for bursts and
 :meth:`Client.events` instead of polling :meth:`Client.wealth`.  Pass
 ``auto_idem=False`` to restore the v1 retry-reads-only behaviour.
+``Client.with_recovery()`` turns ``SESSION_EVICTED`` answers from a
+store-backed server into a transparent ``recover`` + single replay of
+the failed (idempotent) request; rebuilding a session client-side from
+the eviction envelope's raw ``export`` payload is deprecated.
 """
 
 from repro.api.client import (
@@ -73,6 +84,7 @@ from repro.api.protocol import (
     ListDatasets,
     Override,
     Pipeline,
+    RecoverSession,
     Response,
     Show,
     Star,
@@ -115,6 +127,7 @@ __all__ = [
     "Pipeline",
     "PipelineBuilder",
     "PipelineResult",
+    "RecoverSession",
     "Response",
     "SUPPORTED_VERSIONS",
     "ServerThread",

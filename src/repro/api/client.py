@@ -37,6 +37,7 @@ import dataclasses
 import http.client
 import json
 import uuid
+import warnings
 from typing import Any, Iterator, Mapping
 
 from repro.errors import ProtocolError, ReproError
@@ -55,6 +56,7 @@ from repro.api.protocol import (
     ListDatasets,
     Override,
     Pipeline,
+    RecoverSession,
     Response,
     Show,
     Star,
@@ -371,7 +373,27 @@ class Client:
         self.port = port
         self.timeout = timeout
         self.auto_idem = auto_idem
+        self._recovery = False
         self._conn: http.client.HTTPConnection | None = None
+
+    def with_recovery(self, enabled: bool = True) -> "Client":
+        """Turn on transparent eviction recovery; returns self (chainable).
+
+        With recovery enabled, a ``SESSION_EVICTED`` answer whose details
+        advertise ``recoverable: true`` is handled inside :meth:`call`:
+        the client issues a ``recover`` command for the evicted session
+        and replays the original request once.  Only idempotent requests
+        are replayed (read-only verbs, or commands carrying an ``idem``
+        token — which ``auto_idem`` stamps by default), so the transparent
+        retry can never double-apply a user action.
+
+        This supersedes the v2.0 caller-side dance of catching the
+        eviction error and rebuilding state from its ``export`` payload;
+        that path still works but now raises a :class:`DeprecationWarning`
+        when surfaced (see :meth:`call`).
+        """
+        self._recovery = enabled
+        return self
 
     # -- transport -----------------------------------------------------------
 
@@ -420,7 +442,16 @@ class Client:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def call(self, command: Command | Mapping[str, Any]) -> dict:
-        """Send one command; return the ``result`` dict or raise ApiError."""
+        """Send one command; return the ``result`` dict or raise ApiError.
+
+        Under :meth:`with_recovery`, a recoverable ``SESSION_EVICTED``
+        answer triggers one transparent ``recover`` + replay of the
+        original (idempotent) request.  Without recovery mode, an
+        eviction error that carries the legacy ``export`` payload is
+        still raised as before, but with a :class:`DeprecationWarning` —
+        rebuilding sessions client-side from that payload is superseded
+        by the server-side ``recover`` verb.
+        """
         if isinstance(command, Command):
             if (
                 self.auto_idem
@@ -436,6 +467,30 @@ class Client:
             payload = command_to_dict(command)
         else:
             payload = dict(command)
+        try:
+            return self._call_payload(payload)
+        except ApiError as err:
+            sid = self._recoverable_session(payload, err)
+            if sid is None:
+                if (
+                    err.code == "SESSION_EVICTED"
+                    and not self._recovery
+                    and "export" in err.details
+                ):
+                    warnings.warn(
+                        "recovering an evicted session from the error "
+                        "envelope's raw 'export' payload is deprecated; "
+                        "use Client.with_recovery() or Client.recover() "
+                        "against a store-backed server instead",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                raise
+            self.recover(sid)
+            return self._call_payload(payload)
+
+    def _call_payload(self, payload: dict) -> dict:
+        """POST one wire payload and unwrap its envelope."""
         status, envelope = self._post(payload)
         response = Response.from_dict(envelope)
         if not response.ok:
@@ -450,6 +505,30 @@ class Client:
                 f"v{requested_v} request"
             )
         return dict(response.result or {})
+
+    def _recoverable_session(self, payload: Mapping[str, Any],
+                             err: ApiError) -> str | None:
+        """The session id to transparently recover, or None.
+
+        All four gates must hold: recovery mode is on, the server says
+        the eviction is recoverable (the store holds the log), the
+        failed request is safe to replay (read-only or idem-stamped),
+        and it is not itself a ``recover`` (no retry loops).
+        """
+        if (
+            not self._recovery
+            or err.code != "SESSION_EVICTED"
+            or not err.details.get("recoverable")
+            or payload.get("cmd") == "recover"
+        ):
+            return None
+        if not (
+            payload.get("cmd") in READ_ONLY_COMMANDS
+            or _is_idempotent(payload)
+        ):
+            return None
+        sid = payload.get("session_id") or err.details.get("session_id")
+        return sid if isinstance(sid, str) else None
 
     # -- session lifecycle ---------------------------------------------------
 
@@ -506,6 +585,15 @@ class Client:
     def close_session(self, session_id: str) -> None:
         """Close and forget a session."""
         self.call(CloseSession(session_id=session_id))
+
+    def recover(self, session_id: str) -> dict:
+        """Revive an evicted-or-crashed session from the server's store.
+
+        Idempotent: recovering a live session is a no-op.  Returns the
+        rebuilt gauge summary plus ``recovered``/``replayed``/
+        ``decisions`` counters.  Requires a store-backed server.
+        """
+        return self.call(RecoverSession(session_id=session_id))
 
     # -- v2: pipelines & events ----------------------------------------------
 

@@ -61,6 +61,8 @@ STATUS_FOR_CODE = {
     "SESSION": 404,
     "SESSION_EVICTED": 410,
     "UNKNOWN_PROCEDURE": 404,
+    "RECOVERY": 500,
+    "STORE": 500,
     "INTERNAL": 500,
 }
 

@@ -72,10 +72,12 @@ from repro.errors import (
     PredicateError,
     ProcedureStateError,
     ProtocolError,
+    RecoveryError,
     ReproError,
     SchemaError,
     SessionError,
     SessionEvictedError,
+    StoreError,
     UnknownProcedureError,
     WealthExhaustedError,
 )
@@ -100,6 +102,7 @@ __all__ = [
     "Command",
     "Pipeline",
     "CreateSession",
+    "RecoverSession",
     "Show",
     "Star",
     "Unstar",
@@ -164,6 +167,8 @@ ERROR_CODES: tuple[tuple[type, str], ...] = (
     (SessionEvictedError, "SESSION_EVICTED"),
     (SessionError, "SESSION"),
     (InvalidParameterError, "INVALID_PARAMETER"),
+    (RecoveryError, "RECOVERY"),
+    (StoreError, "STORE"),
     (ReproError, "REPRO_ERROR"),
 )
 
@@ -442,6 +447,23 @@ class DeleteHypothesis(Command):
 
 
 @dataclass(frozen=True)
+class RecoverSession(Command):
+    """Revive an evicted-or-crashed session from the write-ahead store (v2).
+
+    Idempotent by construction: recovering a live session is a no-op, and
+    a successful recovery answers with the rebuilt wealth/gauge state
+    either way — so the command is safe to retry and safe for
+    :meth:`repro.api.client.Client.with_recovery` to issue transparently.
+    Requires the server to run with ``--store``; without one the command
+    fails with a ``STORE`` envelope.
+    """
+
+    cmd = "recover"
+
+    session_id: str
+
+
+@dataclass(frozen=True)
 class Wealth(Command):
     """Read a session's α-wealth gauge state."""
 
@@ -517,9 +539,9 @@ class Pipeline(Command):
 COMMANDS: dict[str, type[Command]] = {
     cls.cmd: cls
     for cls in (
-        CreateSession, Show, Star, Unstar, Override, DeleteHypothesis,
-        Wealth, DecisionLog, Export, CloseSession, ListDatasets, Stats,
-        Pipeline,
+        CreateSession, RecoverSession, Show, Star, Unstar, Override,
+        DeleteHypothesis, Wealth, DecisionLog, Export, CloseSession,
+        ListDatasets, Stats, Pipeline,
     )
 }
 
@@ -677,6 +699,10 @@ def _command_from_fields(
                 "'pipeline' requires protocol v2; this request declares v1"
             )
         return _pipeline_from_dict(payload, version)
+    if cls is RecoverSession and version < 2:
+        raise ProtocolError(
+            "'recover' requires protocol v2; this request declares v1"
+        )
     known = {f.name for f in dataclasses.fields(cls)}
     kwargs: dict[str, Any] = {}
     for key, value in payload.items():

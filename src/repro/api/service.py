@@ -60,6 +60,7 @@ from repro.errors import (
     InvalidParameterError,
     ProtocolError,
     ReproError,
+    StoreError,
 )
 from repro.exploration.export import clean_float, hypothesis_to_dict
 from repro.exploration.session import ViewResult
@@ -76,6 +77,7 @@ from repro.api.protocol import (
     ListDatasets,
     Override,
     Pipeline,
+    RecoverSession,
     Response,
     Show,
     Star,
@@ -160,6 +162,7 @@ class ExplorationService:
         self._admission_lock = threading.Lock()
         self._handlers: dict[type, Callable[[Any], dict]] = {
             CreateSession: self._create_session,
+            RecoverSession: self._recover,
             Show: self._show,
             Star: self._star,
             Unstar: self._unstar,
@@ -218,6 +221,7 @@ class ExplorationService:
     def _execute(self, command: Command) -> Response:
         """Idempotency-aware execution of one (already validated) command."""
         idem = command.idem
+        store = self.manager.store
         if idem is not None:
             with self._idem_lock:
                 cached = self._idem_cache.get(idem)
@@ -225,7 +229,22 @@ class ExplorationService:
                     self._idem_cache.move_to_end(idem)
                     self._idem_replays += 1
                     return cached
-        response = self._dispatch(command)
+            if store is not None:
+                # The in-memory LRU missed, but a previous process life
+                # (or an aged-out entry) may have recorded this token
+                # durably: replay the recorded response instead of
+                # re-executing — the no-double-spend guarantee must
+                # survive a crash, not just a connection failure.
+                durable = store.get_idem(idem)
+                if durable is not None:
+                    response = Response.from_dict(durable)
+                    with self._idem_lock:
+                        self._idem_cache[idem] = response
+                        while len(self._idem_cache) > self._idem_cache_size:
+                            self._idem_cache.popitem(last=False)
+                        self._idem_replays += 1
+                    return response
+        response = self._execute_staged(command, idem, store)
         # Record only successes: a failed command mutated nothing (shows
         # raise before any wealth is spent), so re-executing a retry is
         # harmless and lets transient conditions clear instead of pinning
@@ -236,6 +255,46 @@ class ExplorationService:
                 while len(self._idem_cache) > self._idem_cache_size:
                     self._idem_cache.popitem(last=False)
         return response
+
+    def _execute_staged(self, command: Command, idem: str | None,
+                        store) -> Response:
+        """Dispatch, staging the WAL entry + idem response as one commit.
+
+        For an idem-carrying session verb on a store-backed service, the
+        session lock is held across dispatch *and* stage exit, so the
+        verb's WAL entry commits together with its recorded response
+        before the client can be acknowledged — a crash either preserves
+        both (a retry replays the response) or neither (a retry
+        re-executes a verb that never happened).  There is no window in
+        which the verb is durable but its response is not.
+        """
+        session_id = getattr(command, "session_id", None)
+        if (
+            idem is None
+            or store is None
+            or session_id is None
+            or isinstance(command, (Pipeline, CreateSession, RecoverSession))
+        ):
+            return self._dispatch(command)
+        try:
+            lock = self.manager.session_lock(session_id)
+        except ReproError:
+            # Unknown/evicted session: dispatch will answer the proper
+            # envelope, and a failure appends nothing to stage.
+            return self._dispatch(command)
+        with lock:
+            try:
+                with store.stage(session_id, idem) as staged:
+                    response = self._dispatch(command)
+                    if response.ok:
+                        staged.set_response(response.to_dict())
+            except ReproError as exc:
+                # The commit itself failed: the verb is NOT durable and
+                # must not be acknowledged as if it were.
+                return Response.from_exception(exc, details=_error_details(exc))
+            except Exception as exc:  # noqa: BLE001 - boundary, like _dispatch
+                return Response.from_exception(exc)
+            return response
 
     def _dispatch(self, command: Command) -> Response:
         """Route one command to its handler; exceptions become envelopes."""
@@ -388,6 +447,9 @@ class ExplorationService:
                 bins=cmd.bins,
                 session_id=cmd.session_id,
                 sweep=False,  # swept above, before taking the admission lock
+                idem_token=cmd.idem,  # rides in the durable meta: a retried
+                # create after a crash replays this response (recover_all
+                # re-indexes the token) instead of opening a twin session
                 **dict(cmd.procedure_kwargs),
             )
         result = {"session_id": sid, "dataset": cmd.dataset,
@@ -395,6 +457,49 @@ class ExplorationService:
         if evicted_for_capacity is not None:
             result["evicted_for_capacity"] = evicted_for_capacity
         return result
+
+    def _recover(self, cmd: RecoverSession) -> dict:
+        """Revive an evicted-or-crashed session from the store (v2).
+
+        A recovery re-admits a session, so it passes the same admission
+        control as a create (idle sweep, optional wealth-aware reclaim,
+        cap check under the admission lock).  Recovering a live session
+        skips admission — it occupies its slot already — and is a no-op
+        answering the current gauge state with ``recovered: false``.
+        """
+        if self.manager.store is None:
+            raise StoreError(
+                "this server has no session store; recovery is unavailable "
+                "(start it with --store)"
+            )
+        if cmd.session_id in self.manager.session_ids():
+            report = self.manager.recover_session(cmd.session_id)
+        else:
+            self.manager.evict_idle()
+            if (
+                self.max_sessions is not None
+                and self.admission_policy == "evict-exhausted"
+                and len(self.manager.session_ids()) >= self.max_sessions
+            ):
+                self.manager.evict_for_capacity()
+            with self._admission_lock:
+                if self.max_sessions is not None:
+                    active = len(self.manager.session_ids())
+                    if active >= self.max_sessions:
+                        raise AdmissionRejectedError(
+                            f"session cap reached ({active}/"
+                            f"{self.max_sessions}); cannot re-admit a "
+                            "recovered session",
+                            {"active_sessions": active,
+                             "max_sessions": self.max_sessions,
+                             "admission_policy": self.admission_policy},
+                        )
+                report = self.manager.recover_session(cmd.session_id)
+        summary = self._gauge_summary(cmd.session_id)
+        summary["recovered"] = report["recovered"]
+        summary["replayed"] = report["replayed"]
+        summary["decisions"] = report["decisions"]
+        return summary
 
     def _show(self, cmd: Show) -> dict:
         # Wealth admission control (Sec. 5.8) happens *inside* the
@@ -485,6 +590,11 @@ class ExplorationService:
             "idem_replays": self._idem_replays,
             "pipelines": self._pipelines,
             "pipeline_commands": self._pipeline_commands,
+            "store": (
+                self.manager.store.kind
+                if self.manager.store is not None
+                else None
+            ),
         }
 
     def occupancy(self, sessions: int | None = None) -> float | None:

@@ -122,6 +122,24 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="SSE keep-alive comment interval on "
                             "/v1/events/{session} (default 15)")
+    serve.add_argument("--store", default=None, choices=["jsonl", "sqlite"],
+                       help="durable write-ahead session store backend; "
+                            "sessions survive crashes/restarts and the v2 "
+                            "'recover' verb is answerable (default: in-memory "
+                            "only)")
+    serve.add_argument("--store-path", default=".repro-store", metavar="PATH",
+                       help="where the store keeps its files (a directory for "
+                            "jsonl, a database file for sqlite; default "
+                            ".repro-store)")
+    serve.add_argument("--store-fsync", default="batch",
+                       choices=["always", "batch", "off"],
+                       help="fsync policy for the store: every commit, every "
+                            "few commits, or OS-buffered only (default batch)")
+    serve.add_argument("--snapshot-every", type=int, default=None, metavar="N",
+                       help="compact a session's write-ahead log into a "
+                            "snapshot every N committed commands; 0 disables "
+                            "compaction (default: the manager's "
+                            "DEFAULT_SNAPSHOT_EVERY)")
     return parser
 
 
@@ -257,7 +275,8 @@ def _run_serve_sweep(args) -> str:
 def _run_serve(args) -> str:
     from repro.api.http import serve_forever
     from repro.api.service import DEFAULT_MAX_SESSIONS, ExplorationService
-    from repro.service.manager import DEFAULT_TOMBSTONE_LIMIT, SessionManager
+    from repro.service.manager import (DEFAULT_SNAPSHOT_EVERY,
+                                       DEFAULT_TOMBSTONE_LIMIT, SessionManager)
     from repro.workloads.census import make_census
 
     if args.max_sessions is None:
@@ -266,10 +285,19 @@ def _run_serve(args) -> str:
         max_sessions = None  # 0 on the CLI = no admission cap
     else:
         max_sessions = args.max_sessions
+    store = None
+    if args.store is not None:
+        from repro.store import make_store
+
+        store = make_store(args.store, args.store_path,
+                           fsync=args.store_fsync)
     manager = SessionManager(
         idle_timeout=args.idle_timeout,
         tombstone_limit=(DEFAULT_TOMBSTONE_LIMIT if args.tombstones is None
                          else args.tombstones),
+        store=store,
+        snapshot_every=(DEFAULT_SNAPSHOT_EVERY if args.snapshot_every is None
+                        else args.snapshot_every),
     )
     service = ExplorationService(
         manager=manager,
@@ -286,8 +314,21 @@ def _run_serve(args) -> str:
           f"{'unbounded' if max_sessions is None else max_sessions}; "
           f"eviction: {idle}, admission policy {args.admission_policy}",
           flush=True)
-    serve_forever(service, host=args.host, port=args.port,
-                  event_heartbeat_s=args.event_heartbeat)
+    if store is not None:
+        report = manager.recover_all()
+        print(f"store: {args.store} at {args.store_path} "
+              f"(fsync {args.store_fsync}); recovered "
+              f"{len(report['recovered'])} session(s), "
+              f"{len(report['skipped_tombstoned'])} tombstoned, "
+              f"{len(report['failed'])} failed", flush=True)
+        for sid, why in sorted(report["failed"].items()):
+            print(f"  recovery failed for {sid!r}: {why}", flush=True)
+    try:
+        serve_forever(service, host=args.host, port=args.port,
+                      event_heartbeat_s=args.event_heartbeat)
+    finally:
+        if store is not None:
+            store.close()
     return "server stopped"
 
 

@@ -20,6 +20,8 @@ __all__ = [
     "SessionEvictedError",
     "AdmissionRejectedError",
     "ProtocolError",
+    "StoreError",
+    "RecoveryError",
 ]
 
 
@@ -91,3 +93,26 @@ class AdmissionRejectedError(ReproError, RuntimeError):
 
 class ProtocolError(ReproError, ValueError):
     """A wire-protocol request is malformed or speaks an unsupported version."""
+
+
+class StoreError(ReproError, RuntimeError):
+    """A session-store operation failed or its durable state is malformed.
+
+    The write-ahead store (:mod:`repro.store`) raises this for backend
+    failures and for durable state that does not satisfy the store's own
+    invariants (e.g. a WAL entry sequence with a gap after the committed
+    prefix).  Truncated trailing writes from a crash are *not* errors —
+    backends discard them silently, because an entry that never finished
+    committing was never acknowledged to any client.
+    """
+
+
+class RecoveryError(StoreError):
+    """Replaying a session's write-ahead log did not reproduce its state.
+
+    Recovery replays the logged command prefix through a fresh session and
+    verifies the rebuilt decision log byte-matches the stored records.  A
+    mismatch means the replay environment diverged from the one that wrote
+    the log (different dataset contents, procedure code drift) — the
+    session is left un-recovered rather than silently resurrected wrong.
+    """

@@ -27,6 +27,7 @@ __all__ = [
     "session_to_dict",
     "session_to_json",
     "save_session",
+    "validate_session_payload",
     "load_session_records",
     "session_report_markdown",
 ]
@@ -106,11 +107,15 @@ def save_session(session: ExplorationSession, path: str | Path) -> Path:
     return path
 
 
-def load_session_records(path: str | Path) -> dict:
-    """Load a snapshot written by :func:`save_session` and validate it."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+def validate_session_payload(payload) -> dict:
+    """Validate a ``session_to_dict``-shaped payload; returns it as a dict.
+
+    Shared by :func:`load_session_records` (archived session files) and
+    the write-ahead store's recovery path (snapshot ``export`` payloads):
+    both read the same canonical shape, so they gate on the same check.
+    """
     if not isinstance(payload, Mapping):
-        raise InvalidParameterError("session file does not contain an object")
+        raise InvalidParameterError("session payload is not an object")
     version = payload.get("schema_version")
     if version != _SCHEMA_VERSION:
         raise InvalidParameterError(
@@ -120,8 +125,16 @@ def load_session_records(path: str | Path) -> dict:
     required = {"procedure", "alpha", "hypotheses"}
     missing = required - set(payload)
     if missing:
-        raise InvalidParameterError(f"session file missing keys: {sorted(missing)}")
+        raise InvalidParameterError(
+            f"session payload missing keys: {sorted(missing)}"
+        )
     return dict(payload)
+
+
+def load_session_records(path: str | Path) -> dict:
+    """Load a snapshot written by :func:`save_session` and validate it."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return validate_session_payload(payload)
 
 
 def session_report_markdown(session: ExplorationSession) -> str:

@@ -69,17 +69,22 @@ On top of the registry the manager owns three lifecycle policies:
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.errors import (
     InvalidParameterError,
+    RecoveryError,
+    ReproError,
     SessionError,
     SessionEvictedError,
+    StoreError,
     WealthExhaustedError,
 )
 from repro.exploration.dataset import Dataset
@@ -89,6 +94,9 @@ from repro.exploration.predicate import Predicate
 from repro.exploration.session import ExplorationSession, ViewResult
 from repro.procedures.base import StreamingProcedure
 from repro.service.events import EventBroker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see repro.store)
+    from repro.store import SessionStore
 
 __all__ = [
     "DecisionRecord",
@@ -100,6 +108,7 @@ __all__ = [
     "ServiceStats",
     "SessionManager",
     "DEFAULT_TOMBSTONE_LIMIT",
+    "DEFAULT_SNAPSHOT_EVERY",
     "PREV_HYPOTHESIS",
 ]
 
@@ -110,6 +119,11 @@ PREV_HYPOTHESIS = "$prev"
 
 #: Default bound on retained eviction tombstones (oldest dropped first).
 DEFAULT_TOMBSTONE_LIMIT = 64
+
+#: WAL entries between store snapshots (log compaction interval).
+DEFAULT_SNAPSHOT_EVERY = 64
+
+_AUTO_SID = re.compile(r"^s(\d+)$")
 
 
 @dataclass(frozen=True)
@@ -262,7 +276,8 @@ class _ManagedSession:
     """A session plus the service-side state the manager keeps for it."""
 
     __slots__ = ("session_id", "dataset_name", "session", "lock", "log",
-                 "shows", "total_latency_s", "last_active")
+                 "shows", "total_latency_s", "last_active", "durable",
+                 "wal_seq", "entries_since_snapshot")
 
     def __init__(self, session_id: str, dataset_name: str,
                  session: ExplorationSession, now: float) -> None:
@@ -278,6 +293,14 @@ class _ManagedSession:
         #: Monotonic clock reading of the last verb this session executed;
         #: the idle-timeout eviction policy compares against it.
         self.last_active = now
+        #: Whether this session writes to the session store.  False when
+        #: no store is configured or the session cannot be re-created from
+        #: JSON (callable procedure factory, unserializable kwargs).
+        self.durable = False
+        #: Committed WAL entries (the next entry's ``seq``).
+        self.wal_seq = 0
+        #: Entries appended since the last snapshot/compaction.
+        self.entries_since_snapshot = 0
 
 
 @dataclass
@@ -305,6 +328,15 @@ class SessionManager:
     clock:
         Monotonic time source (injectable so tests can drive eviction
         deterministically instead of sleeping).
+    store:
+        Optional :class:`~repro.store.SessionStore`.  When set, every
+        committed mutating verb of a durable session is appended to a
+        write-ahead log before the session lock is released, eviction
+        tombstones persist, and :meth:`recover_session` /
+        :meth:`recover_all` can rebuild sessions after a crash.
+    snapshot_every:
+        WAL entries between store snapshots (log compaction interval);
+        ``0`` disables compaction.
     """
 
     def __init__(
@@ -313,6 +345,8 @@ class SessionManager:
         idle_timeout: float | None = None,
         tombstone_limit: int = DEFAULT_TOMBSTONE_LIMIT,
         clock: Callable[[], float] = time.monotonic,
+        store: "SessionStore | None" = None,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
     ) -> None:
         if max_workers is not None and max_workers < 0:
             raise InvalidParameterError("max_workers must be >= 0 or None")
@@ -320,10 +354,15 @@ class SessionManager:
             raise InvalidParameterError("idle_timeout must be > 0 or None")
         if tombstone_limit < 0:
             raise InvalidParameterError("tombstone_limit must be >= 0")
+        if snapshot_every < 0:
+            raise InvalidParameterError("snapshot_every must be >= 0")
         self._max_workers = max_workers
         self._idle_timeout = idle_timeout
         self._tombstone_limit = tombstone_limit
         self._clock = clock
+        self._store = store
+        self._snapshot_every = snapshot_every
+        self._replaying = threading.local()
         self._datasets: dict[str, _RegisteredDataset] = {}
         self._sessions: dict[str, _ManagedSession] = {}
         self._tombstones: OrderedDict[str, dict] = OrderedDict()
@@ -336,6 +375,11 @@ class SessionManager:
     @property
     def idle_timeout(self) -> float | None:
         return self._idle_timeout
+
+    @property
+    def store(self) -> "SessionStore | None":
+        """The configured session store, if any."""
+        return self._store
 
     # -- dataset registry ----------------------------------------------------
 
@@ -381,6 +425,7 @@ class SessionManager:
         bins: int = 10,
         session_id: str | None = None,
         sweep: bool = True,
+        idem_token: str | None = None,
         **procedure_kwargs,
     ) -> str:
         """Open a new isolated session over a registered dataset.
@@ -394,6 +439,14 @@ class SessionManager:
         first; callers that already swept (the service does, before
         taking its admission lock — eviction acquires victims' session
         locks and must never run under it) pass ``False``.
+
+        With a store configured, the creation parameters persist as the
+        session's durable ``meta`` — provided the session is re-creatable
+        from JSON: *procedure* must be a registry name and
+        *procedure_kwargs* JSON-serializable, else the session is simply
+        volatile.  *idem_token* (the service's create-command token, if
+        any) rides along in the meta so a retried create after a crash
+        replays the original response instead of opening a twin session.
         """
         if isinstance(dataset, Dataset):
             try:
@@ -412,6 +465,12 @@ class SessionManager:
         session = ExplorationSession(
             ds, procedure=procedure, alpha=alpha, bins=bins, **procedure_kwargs
         )
+        durable = self._store is not None and isinstance(procedure, str)
+        if durable:
+            try:
+                json.dumps(procedure_kwargs)
+            except (TypeError, ValueError):
+                durable = False  # not re-creatable from JSON: stay volatile
         with self._registry_lock:
             sid = session_id or f"s{self._next_session:04d}"
             self._next_session += 1
@@ -420,19 +479,46 @@ class SessionManager:
             # Re-opening an id that died by eviction supersedes its
             # tombstone: later commands must reach the live session.
             self._tombstones.pop(sid, None)
-            self._sessions[sid] = _ManagedSession(sid, ds_name, session,
-                                                  self._clock())
+            managed = _ManagedSession(sid, ds_name, session, self._clock())
+            managed.durable = durable
+            self._sessions[sid] = managed
             self._datasets[ds_name].sessions.append(sid)
+        if durable and not self._replay_active():
+            meta = {
+                "session_id": sid,
+                "dataset": ds_name,
+                "procedure": procedure,
+                "alpha": alpha,
+                "bins": bins,
+                "procedure_kwargs": dict(procedure_kwargs),
+            }
+            if idem_token is not None:
+                meta["idem_token"] = idem_token
+            # Creating (or re-creating) an id supersedes any durable state
+            # under it, mirroring the tombstone pop above.
+            self._store.create(sid, meta)
         return sid
 
     def close_session(self, session_id: str) -> None:
-        """Forget a session (its dataset stays registered)."""
+        """Forget a session (its dataset stays registered).
+
+        A user close is terminal: with a store configured, the session's
+        durable trail is removed too (eviction, by contrast, keeps it).
+        """
+        managed = self._forget_session(session_id)
+        if managed is None:
+            raise SessionError(f"no session {session_id!r}")
+        if self._store is not None and managed.durable:
+            self._store.remove(session_id)
+        self.events.close_session(session_id, reason="closed")
+
+    def _forget_session(self, session_id: str) -> _ManagedSession | None:
+        """Drop a session from the live registry, touching nothing else."""
         with self._registry_lock:
             managed = self._sessions.pop(session_id, None)
-            if managed is None:
-                raise SessionError(f"no session {session_id!r}")
-            self._datasets[managed.dataset_name].sessions.remove(session_id)
-        self.events.close_session(session_id, reason="closed")
+            if managed is not None:
+                self._datasets[managed.dataset_name].sessions.remove(session_id)
+        return managed
 
     # -- lifecycle / QoS ------------------------------------------------------
 
@@ -498,12 +584,13 @@ class SessionManager:
             log = [r.to_dict() for r in managed.log]
             now = self._clock()
             idle_s = max(0.0, now - managed.last_active)
+        recoverable = self._store is not None and managed.durable
         with self._registry_lock:
             if self._sessions.pop(session_id, None) is None:
                 return False  # lost the race to a close/another eviction
             self._datasets[managed.dataset_name].sessions.remove(session_id)
             self._evictions[reason] = self._evictions.get(reason, 0) + 1
-            self._tombstones[session_id] = {
+            tomb = {
                 "session_id": session_id,
                 "dataset": managed.dataset_name,
                 "reason": reason,
@@ -514,19 +601,36 @@ class SessionManager:
                 "decisions": len(log),
                 "decision_log": log,
                 "export": export,
+                "recoverable": recoverable,
             }
+            self._tombstones[session_id] = tomb
             while len(self._tombstones) > self._tombstone_limit:
                 self._tombstones.popitem(last=False)
+        if recoverable:
+            # The WAL stays: the session is evicted-but-recoverable, and
+            # the durable tombstone survives both the in-memory bound and
+            # a process crash.
+            self._store.set_tombstone(session_id, tomb)
         self.events.close_session(session_id, reason="evicted")
         return True
 
     def tombstone(self, session_id: str) -> dict | None:
-        """The eviction tombstone for *session_id*, if one is retained."""
+        """The eviction tombstone for *session_id*, if one is retained.
+
+        Falls back to the store: a tombstone aged out of the bounded
+        in-memory registry (or belonging to a previous process life) is
+        still answerable as long as the store holds it.
+        """
         tomb = self._tombstones.get(session_id)
+        if tomb is None and self._store is not None:
+            tomb = self._store.tombstone(session_id)
         return dict(tomb) if tomb is not None else None
 
     def tombstone_ids(self) -> tuple[str, ...]:
-        return tuple(self._tombstones)
+        ids = dict.fromkeys(self._tombstones)
+        if self._store is not None:
+            ids.update(dict.fromkeys(self._store.tombstone_ids()))
+        return tuple(ids)
 
     def eviction_counts(self) -> dict[str, int]:
         """``{"idle": n, "capacity": n}`` counters since startup."""
@@ -591,16 +695,20 @@ class SessionManager:
         """
         managed = self._managed(session_id)
         with managed.lock:
+            log_start = len(managed.log)
             hyp = managed.session.star(hypothesis_id)
             self._append_event(managed, "star", hyp)
+            self._wal_hyp_verb(managed, "star", hyp.hypothesis_id, log_start)
             return hyp
 
     def unstar(self, session_id: str, hypothesis_id: int):
         """Remove a bookmark; logged as an ``unstar`` event."""
         managed = self._managed(session_id)
         with managed.lock:
+            log_start = len(managed.log)
             hyp = managed.session.unstar(hypothesis_id)
             self._append_event(managed, "unstar", hyp)
+            self._wal_hyp_verb(managed, "unstar", hyp.hypothesis_id, log_start)
             return hyp
 
     def override_with_means(self, session_id: str, hypothesis_id: int):
@@ -612,22 +720,30 @@ class SessionManager:
         """
         managed = self._managed(session_id)
         with managed.lock:
+            log_start = len(managed.log)
             report = managed.session.override_with_means(hypothesis_id)
             self._append_event(
                 managed, "override", managed.session.hypothesis(hypothesis_id)
             )
             self._append_replays(managed, report)
+            self._wal_hyp_verb(
+                managed, "override", int(hypothesis_id), log_start
+            )
             return report
 
     def delete_hypothesis(self, session_id: str, hypothesis_id: int):
         """Delete a hypothesis from the stream under the session lock."""
         managed = self._managed(session_id)
         with managed.lock:
+            log_start = len(managed.log)
             report = managed.session.delete(hypothesis_id)
             self._append_event(
                 managed, "delete", managed.session.hypothesis(hypothesis_id)
             )
             self._append_replays(managed, report)
+            self._wal_hyp_verb(
+                managed, "delete", int(hypothesis_id), log_start
+            )
             return report
 
     def gauge(self, session_id: str):
@@ -901,6 +1017,7 @@ class SessionManager:
         descriptive: bool,
     ) -> ViewResult:
         start = time.perf_counter()
+        log_start = len(managed.log)
         result = managed.session.show(
             attribute, where=where, bins=bins, descriptive=descriptive
         )
@@ -920,7 +1037,245 @@ class SessionManager:
             )
             managed.log.append(record)
             self._publish(managed, record, gauge=True)
+        if self._store_active(managed):
+            # Every successful show is logged — descriptive ones too:
+            # they consume hypothesis-stream ids, and skipping them on
+            # replay would shift every later id.
+            from repro.store.replay import encode_show
+
+            self._wal_append(
+                managed,
+                encode_show(attribute, where, bins, descriptive),
+                managed.log[log_start:],
+            )
         return result
+
+    # -- write-ahead store plumbing -------------------------------------------
+
+    def _replay_active(self) -> bool:
+        return getattr(self._replaying, "active", False)
+
+    def _store_active(self, managed: _ManagedSession) -> bool:
+        """Whether this verb should write WAL entries (lock held)."""
+        return (
+            self._store is not None
+            and managed.durable
+            and not self._replay_active()
+        )
+
+    @contextmanager
+    def _suspend_store(self):
+        """Mute store writes on this thread while recovery replays."""
+        self._replaying.active = True
+        try:
+            yield
+        finally:
+            self._replaying.active = False
+
+    def _wal_hyp_verb(
+        self,
+        managed: _ManagedSession,
+        verb: str,
+        hypothesis_id: int,
+        log_start: int,
+    ) -> None:
+        """WAL one committed star/unstar/override/delete (lock held)."""
+        if not self._store_active(managed):
+            return
+        from repro.store.replay import encode_hypothesis_verb
+
+        self._wal_append(
+            managed,
+            encode_hypothesis_verb(verb, hypothesis_id),
+            managed.log[log_start:],
+        )
+
+    def _wal_append(
+        self,
+        managed: _ManagedSession,
+        cmd: dict,
+        records: Sequence[DecisionRecord],
+    ) -> None:
+        """Append one committed verb to the session's WAL (lock held).
+
+        When the service staged this command, the append lands in the
+        stage buffer and commits — together with the idem response — on
+        stage exit, still under the session lock; compaction that would
+        fire mid-stage is deferred to just after that commit so the
+        snapshot never counts an uncommitted entry.
+        """
+        self._store.append(managed.session_id, {
+            "seq": managed.wal_seq,
+            "cmd": cmd,
+            "records": [r.to_dict() for r in records],
+        })
+        managed.wal_seq += 1
+        managed.entries_since_snapshot += 1
+        if (
+            self._snapshot_every
+            and managed.entries_since_snapshot >= self._snapshot_every
+        ):
+            managed.entries_since_snapshot = 0
+            sid = managed.session_id
+            wal_seq = managed.wal_seq
+
+            def compact() -> None:
+                from repro.exploration.export import session_to_dict
+
+                self._store.compact(
+                    sid,
+                    session_to_dict(managed.session),
+                    [r.to_dict() for r in managed.log],
+                    wal_seq,
+                )
+
+            if not self._store.defer_after_commit(sid, compact):
+                compact()
+
+    def recover_session(self, session_id: str) -> dict:
+        """Rebuild one session from the store by replaying its WAL.
+
+        Idempotent: recovering a live session is a no-op answering
+        ``recovered: False``.  Replay runs with store writes suspended
+        (recovery must not re-log its own history), then the rebuilt
+        decision log is verified byte-identical to the stored records —
+        on mismatch the half-built session is discarded and
+        :class:`~repro.errors.RecoveryError` raised.  Success clears any
+        tombstone (in-memory and durable): the session is live again.
+        """
+        if self._store is None:
+            raise StoreError("no session store configured; nothing to recover")
+        managed = self._sessions.get(session_id)
+        if managed is not None:
+            with managed.lock:
+                return {
+                    "session_id": session_id,
+                    "recovered": False,
+                    "replayed": 0,
+                    "decisions": len(managed.log),
+                }
+        stored = self._store.load(session_id)
+        if stored is None:
+            raise SessionError(f"no stored session {session_id!r}")
+        meta = stored.meta
+        commands = stored.commands()
+        expected = stored.records()
+        from repro.store.replay import apply_command
+
+        with self._suspend_store():
+            try:
+                self.create_session(
+                    meta["dataset"],
+                    procedure=meta.get("procedure", "epsilon-hybrid"),
+                    alpha=meta.get("alpha", 0.05),
+                    bins=meta.get("bins", 10),
+                    session_id=session_id,
+                    sweep=False,
+                    **dict(meta.get("procedure_kwargs") or {}),
+                )
+            except InvalidParameterError:
+                managed = self._sessions.get(session_id)
+                if managed is not None:
+                    # Lost a recover/create race; the winner's session
+                    # is the live one.
+                    with managed.lock:
+                        return {
+                            "session_id": session_id,
+                            "recovered": False,
+                            "replayed": 0,
+                            "decisions": len(managed.log),
+                        }
+                raise
+            try:
+                for cmd in commands:
+                    apply_command(self, session_id, cmd)
+                managed = self._sessions[session_id]
+                rebuilt = [r.to_dict() for r in managed.log]
+                if rebuilt != expected:
+                    raise RecoveryError(
+                        f"replaying session {session_id!r} produced "
+                        f"{len(rebuilt)} decision records that do not match "
+                        f"the {len(expected)} stored ones; refusing to "
+                        "resurrect a diverged session"
+                    )
+                if stored.snapshot is not None:
+                    # The snapshot's export is the same canonical shape
+                    # archived session files use; gate it through the
+                    # same validation path.
+                    from repro.exploration.export import (
+                        validate_session_payload,
+                    )
+
+                    validate_session_payload(stored.snapshot["export"])
+            except Exception:
+                self._forget_session(session_id)
+                raise
+        managed.wal_seq = stored.wal_seq
+        managed.entries_since_snapshot = len(stored.entries)
+        with self._registry_lock:
+            self._tombstones.pop(session_id, None)
+        self._store.clear_tombstone(session_id)
+        return {
+            "session_id": session_id,
+            "recovered": True,
+            "replayed": len(commands),
+            "decisions": len(managed.log),
+        }
+
+    def recover_all(self) -> dict:
+        """Boot-time recovery: rebuild every non-tombstoned stored session.
+
+        Tombstoned sessions stay evicted-but-recoverable (a crash must
+        not resurrect what a QoS policy evicted); their ids are reported
+        as ``skipped_tombstoned``.  A session that fails to replay is
+        reported in ``failed`` and left un-recovered rather than aborting
+        the boot.  Durable create-idem tokens are re-indexed so a client
+        retrying its create after the crash gets its original session id
+        back, and the auto-id counter is bumped past every stored id so
+        new sessions never collide with recovered ones.
+        """
+        if self._store is None:
+            return {"recovered": [], "failed": {}, "skipped_tombstoned": []}
+        recovered: list[str] = []
+        failed: dict[str, str] = {}
+        skipped: list[str] = []
+        max_auto = 0
+        for sid in self._store.session_ids():
+            match = _AUTO_SID.match(sid)
+            if match:
+                max_auto = max(max_auto, int(match.group(1)))
+            stored = self._store.load(sid)
+            if stored is None:
+                continue
+            if stored.tombstone is not None:
+                skipped.append(sid)
+                continue
+            try:
+                report = self.recover_session(sid)
+            except ReproError as exc:
+                failed[sid] = f"{type(exc).__name__}: {exc}"
+                continue
+            if report["recovered"]:
+                recovered.append(sid)
+            token = stored.meta.get("idem_token")
+            if token:
+                self._store.register_idem(token, {
+                    "v": 2,
+                    "ok": True,
+                    "result": {
+                        "session_id": sid,
+                        "dataset": stored.meta.get("dataset"),
+                        "procedure": stored.meta.get("procedure"),
+                        "alpha": stored.meta.get("alpha"),
+                    },
+                })
+        with self._registry_lock:
+            self._next_session = max(self._next_session, max_auto + 1)
+        return {
+            "recovered": recovered,
+            "failed": failed,
+            "skipped_tombstoned": skipped,
+        }
 
     # -- logs & stats --------------------------------------------------------
 
@@ -1006,6 +1361,12 @@ class SessionManager:
             managed = None
         if managed is None:
             tomb = self._tombstones.get(session_id)
+            if tomb is None and self._store is not None:
+                # The bounded in-memory registry may have dropped this
+                # tombstone (or a crash did); the durable one still
+                # answers, so eviction stays recoverable — the satellite
+                # bugfix for silently-forgotten evictions.
+                tomb = self._store.tombstone(session_id)
             if tomb is not None:
                 raise SessionEvictedError(
                     f"session {session_id!r} was evicted "

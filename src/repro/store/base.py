@@ -1,0 +1,354 @@
+"""The :class:`SessionStore` contract shared by every persistence backend.
+
+One durable unit per session, three kinds of state:
+
+* **meta** — the ``create_session`` parameters (dataset registry name,
+  procedure name, alpha, bins, JSON-serializable procedure kwargs), written
+  once at creation.  Only registry-name procedures are durable; a session
+  built from a callable factory cannot be re-created from JSON and stays
+  volatile.
+* **WAL entries** — one JSON object per *successfully executed* mutating
+  verb, appended in execution order under the session lock::
+
+      {"seq": N, "cmd": {"cmd": "show", ...},
+       "records": [<DecisionRecord.to_dict()>, ...],
+       "idem": {"token": "...", "response": {<envelope>}}}   # optional
+
+  ``seq`` counts committed commands from session birth.  ``records`` are
+  the decision-log rows the command appended (possibly empty — a
+  descriptive show logs nothing).  The optional ``idem`` attachment rides
+  *inside* the entry so the command and its recorded response commit as
+  one atomic unit: either a retry replays the recorded response, or the
+  command never committed and re-executing it is safe.  There is no state
+  in between.
+* **snapshot** — a compaction of the entry prefix below ``applied``::
+
+      {"snapshot_version": 1, "applied": M,
+       "commands": [<cmd>, ...],          # all M compacted commands
+       "records": [...],                  # full decision log at seq M
+       "export": {<session_to_dict>},     # verification artifact
+       "idem": {token: envelope, ...}}    # responses from compacted entries
+
+  Recovery replays ``snapshot.commands`` followed by the tail entries —
+  the snapshot is a *command-prefix* checkpoint, not an opaque state dump,
+  so "snapshot + tail replay" is definitionally the same computation as
+  "full-log replay" and is property-tested to stay that way.
+
+Tombstones and crash state
+--------------------------
+A session evicted by a QoS policy keeps its WAL *and* gains a tombstone
+payload; a session closed by its user is removed entirely.  On boot,
+sessions **without** a tombstone were live when the process died and are
+recovered eagerly; tombstoned sessions stay evicted-but-recoverable until
+a ``recover`` command revives them.
+
+Ordering and atomicity
+----------------------
+``append`` must be called in ``seq`` order per session (the manager holds
+the session lock across execute-and-append, which guarantees it).  A
+loaded tail is ordered by ``seq`` and truncated at the first gap or parse
+failure: a torn trailing write is an unacknowledged command, never an
+error.  :meth:`SessionStore.stage` defers one append so the caller can
+attach the response produced *after* the verb ran, then commits the
+combined entry before the session lock is released.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import StoreError
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "DEFAULT_IDEM_RETAINED",
+    "DEFAULT_IDEM_INDEX_LIMIT",
+    "StoredSession",
+    "SessionStore",
+    "order_entries",
+]
+
+#: Schema version of the snapshot payload.
+SNAPSHOT_VERSION = 1
+
+#: How many idem token→response pairs a snapshot retains from the entries
+#: it compacts (newest kept).  Bounds the durable replay horizon the same
+#: way the service's in-memory LRU bounds the live one.
+DEFAULT_IDEM_RETAINED = 256
+
+#: Bound on the store's in-memory idem index (newest kept).
+DEFAULT_IDEM_INDEX_LIMIT = 4096
+
+
+def order_entries(applied: int, entries: Iterable[Mapping]) -> tuple[dict, ...]:
+    """Sort a loaded tail by ``seq`` and truncate at the first gap.
+
+    The contiguous run starting at *applied* is the committed tail; an
+    entry after a gap can never be replayed (its predecessor is missing)
+    and — because appends are sequential — can only be a torn artifact of
+    a crash, so it is discarded, not an error.
+    """
+    by_seq: dict[int, dict] = {}
+    for entry in entries:
+        seq = entry.get("seq")
+        if isinstance(seq, int) and seq >= applied:
+            by_seq[seq] = dict(entry)
+    tail: list[dict] = []
+    seq = applied
+    while seq in by_seq:
+        tail.append(by_seq[seq])
+        seq += 1
+    return tuple(tail)
+
+
+@dataclass(frozen=True)
+class StoredSession:
+    """Everything the store holds for one session, ready for replay."""
+
+    session_id: str
+    meta: dict
+    snapshot: dict | None
+    entries: tuple[dict, ...]
+    tombstone: dict | None
+
+    @property
+    def applied(self) -> int:
+        """Commands folded into the snapshot (0 without one)."""
+        return int(self.snapshot["applied"]) if self.snapshot else 0
+
+    @property
+    def wal_seq(self) -> int:
+        """Total committed commands: snapshot prefix + tail."""
+        return self.applied + len(self.entries)
+
+    def commands(self) -> list[dict]:
+        """The full command history, snapshot prefix then tail."""
+        prefix = list(self.snapshot["commands"]) if self.snapshot else []
+        return prefix + [dict(e["cmd"]) for e in self.entries]
+
+    def records(self) -> list[dict]:
+        """The full decision log those commands produced."""
+        rows = list(self.snapshot["records"]) if self.snapshot else []
+        for entry in self.entries:
+            rows.extend(dict(r) for r in entry.get("records", ()))
+        return rows
+
+
+class _Stage:
+    """One deferred append: entry buffered until the response is known."""
+
+    __slots__ = ("session_id", "token", "entry", "response", "after_commit")
+
+    def __init__(self, session_id: str, token: str | None) -> None:
+        self.session_id = session_id
+        self.token = token
+        self.entry: dict | None = None
+        self.response: dict | None = None
+        self.after_commit: list[Callable[[], None]] = []
+
+    def set_response(self, response: Mapping[str, Any]) -> None:
+        """Attach the successful response envelope to the staged entry."""
+        self.response = dict(response)
+
+
+class SessionStore(ABC):
+    """Abstract write-ahead session store (see the module docstring)."""
+
+    #: Backend name, echoed by ``stats`` and the serve banner.
+    kind = "abstract"
+
+    def __init__(self) -> None:
+        self._idem_index: dict[str, dict] = {}
+        self._idem_index_lock = threading.Lock()
+        self._stage_local = threading.local()
+
+    # -- staged (atomic entry + response) commits ----------------------------
+
+    @contextmanager
+    def stage(self, session_id: str, token: str | None):
+        """Defer this thread's next ``append`` for *session_id*.
+
+        The caller executes the verb inside the ``with`` block (the verb's
+        append lands in the stage buffer instead of the backend), attaches
+        the response via :meth:`_Stage.set_response`, and on exit the
+        combined entry — command, records, idem token *and* response — is
+        committed as one write.  Must be entered while holding the
+        session's lock so the commit keeps ``seq`` order.
+        """
+        if getattr(self._stage_local, "slot", None) is not None:
+            raise StoreError("nested store stages are not supported")
+        slot = _Stage(session_id, token)
+        self._stage_local.slot = slot
+        try:
+            yield slot
+        finally:
+            self._stage_local.slot = None
+            if slot.entry is not None:
+                if slot.token is not None:
+                    idem: dict[str, Any] = {"token": slot.token}
+                    if slot.response is not None:
+                        idem["response"] = slot.response
+                    slot.entry["idem"] = idem
+                self._append_now(session_id, slot.entry)
+                if slot.token is not None and slot.response is not None:
+                    self.register_idem(slot.token, slot.response)
+                for fn in slot.after_commit:
+                    fn()
+
+    def append(self, session_id: str, entry: Mapping[str, Any]) -> None:
+        """Append one WAL entry (buffered when a stage is active)."""
+        slot = getattr(self._stage_local, "slot", None)
+        if slot is not None and slot.session_id == session_id:
+            if slot.entry is not None:
+                raise StoreError(
+                    "a staged command appended more than one WAL entry"
+                )
+            slot.entry = dict(entry)
+            return
+        self._append_now(session_id, dict(entry))
+
+    def defer_after_commit(
+        self, session_id: str, fn: Callable[[], None]
+    ) -> bool:
+        """Run *fn* right after the active stage commits; False if none."""
+        slot = getattr(self._stage_local, "slot", None)
+        if slot is not None and slot.session_id == session_id:
+            slot.after_commit.append(fn)
+            return True
+        return False
+
+    # -- idem index (in-memory, rebuilt from durable state on open) ----------
+
+    def register_idem(self, token: str, response: Mapping[str, Any]) -> None:
+        """Index *token* → response envelope (bounded, newest kept)."""
+        with self._idem_index_lock:
+            self._idem_index[token] = dict(response)
+            while len(self._idem_index) > DEFAULT_IDEM_INDEX_LIMIT:
+                self._idem_index.pop(next(iter(self._idem_index)))
+
+    def get_idem(self, token: str) -> dict | None:
+        """The recorded response envelope for *token*, if durable."""
+        with self._idem_index_lock:
+            response = self._idem_index.get(token)
+            return dict(response) if response is not None else None
+
+    def _index_idem_from(
+        self, snapshot: Mapping | None, entries: Iterable[Mapping]
+    ) -> None:
+        """Rebuild index contributions of one session's durable state."""
+        if snapshot:
+            for token, response in dict(snapshot.get("idem") or {}).items():
+                self.register_idem(token, response)
+        for entry in entries:
+            idem = entry.get("idem")
+            if idem and idem.get("response") is not None:
+                self.register_idem(idem["token"], idem["response"])
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(
+        self,
+        session_id: str,
+        export: Mapping[str, Any],
+        records: list[dict],
+        wal_seq: int,
+    ) -> None:
+        """Fold every committed entry below *wal_seq* into a snapshot.
+
+        *export* and *records* must describe the session exactly at
+        ``seq == wal_seq`` (the manager calls this under the session lock,
+        right after the append that crossed the snapshot interval).  Idem
+        responses from the compacted entries are carried into the
+        snapshot's bounded ``idem`` map so the durable replay horizon
+        survives compaction.
+        """
+        stored = self.load(session_id)
+        if stored is None:
+            raise StoreError(f"cannot compact unknown session {session_id!r}")
+        if wal_seq > stored.wal_seq:
+            raise StoreError(
+                f"compaction of {session_id!r} up to seq {wal_seq} exceeds "
+                f"the committed tip {stored.wal_seq}"
+            )
+        commands = stored.commands()[:wal_seq]
+        idem: dict[str, dict] = dict(
+            (stored.snapshot or {}).get("idem") or {}
+        )
+        for entry in stored.entries:
+            if entry["seq"] >= wal_seq:
+                break
+            attachment = entry.get("idem")
+            if attachment and attachment.get("response") is not None:
+                idem[attachment["token"]] = dict(attachment["response"])
+        while len(idem) > DEFAULT_IDEM_RETAINED:
+            idem.pop(next(iter(idem)))
+        self.write_snapshot(session_id, {
+            "snapshot_version": SNAPSHOT_VERSION,
+            "applied": wal_seq,
+            "commands": commands,
+            "records": list(records),
+            "export": dict(export),
+            "idem": idem,
+        })
+
+    # -- backend primitives --------------------------------------------------
+
+    @abstractmethod
+    def create(self, session_id: str, meta: Mapping[str, Any]) -> None:
+        """Register a durable session, resetting any prior state under
+        the same id (re-creating an id supersedes its old trail)."""
+
+    @abstractmethod
+    def _append_now(self, session_id: str, entry: dict) -> None:
+        """Commit one WAL entry (already past any stage buffering)."""
+
+    @abstractmethod
+    def write_snapshot(self, session_id: str, snapshot: dict) -> None:
+        """Atomically replace the snapshot; drop entries below ``applied``."""
+
+    @abstractmethod
+    def remove(self, session_id: str) -> None:
+        """Forget a session entirely (user close, or supersede)."""
+
+    @abstractmethod
+    def set_tombstone(self, session_id: str, payload: Mapping[str, Any]) -> None:
+        """Persist an eviction tombstone (the WAL stays for recovery)."""
+
+    @abstractmethod
+    def clear_tombstone(self, session_id: str) -> None:
+        """Drop a tombstone (the session was recovered or superseded)."""
+
+    @abstractmethod
+    def session_ids(self) -> tuple[str, ...]:
+        """Ids of every session with durable state."""
+
+    @abstractmethod
+    def load(self, session_id: str) -> StoredSession | None:
+        """The session's full durable state, or None if unknown."""
+
+    @abstractmethod
+    def tombstone(self, session_id: str) -> dict | None:
+        """The durable tombstone payload, if one exists."""
+
+    @abstractmethod
+    def tombstone_ids(self) -> tuple[str, ...]:
+        """Ids of every tombstoned session."""
+
+    def sync(self) -> None:  # pragma: no cover - backend-specific
+        """Flush and fsync everything outstanding (no-op by default)."""
+
+    def close(self) -> None:  # pragma: no cover - backend-specific
+        """Release backend resources; the store must not be used after."""
+
+    def __enter__(self) -> "SessionStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(sessions={len(self.session_ids())})"

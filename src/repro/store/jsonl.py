@@ -1,0 +1,290 @@
+"""Append-only JSONL segment backend for the session store.
+
+Layout (one directory per session under the store root)::
+
+    <root>/sessions/<sid>/meta.json        # create_session parameters
+    <root>/sessions/<sid>/snapshot.json    # compacted command prefix
+    <root>/sessions/<sid>/wal-00000007.jsonl   # entries from seq 7 upward
+    <root>/sessions/<sid>/tombstone.json   # present iff evicted
+
+Whole-file JSON documents are written via temp-file + ``os.replace`` so a
+crash leaves either the old or the new document, never a torn one.  WAL
+appends are a single ``json.dumps`` line followed by ``flush()`` always
+and ``fsync()`` per the configured policy — ``"always"`` (every entry),
+``"batch"`` (every :data:`FSYNC_BATCH` entries and on snapshot/close), or
+``"off"`` (never; the OS page cache still survives a SIGKILL, only a
+machine crash can lose acknowledged entries).
+
+Loading tolerates a truncated or corrupt trailing line by discarding it
+and everything after: appends are sequential, so damage can only be the
+torn tail of the final crash-time write, which was never acknowledged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+from pathlib import Path
+from typing import IO, Any, Mapping
+
+from repro.errors import StoreError
+
+from .base import SessionStore, StoredSession, order_entries
+
+__all__ = ["JsonlSessionStore", "FSYNC_BATCH", "FSYNC_POLICIES"]
+
+#: Entries between fsyncs under the ``"batch"`` policy.
+FSYNC_BATCH = 16
+
+FSYNC_POLICIES = ("always", "batch", "off")
+
+_META = "meta.json"
+_SNAPSHOT = "snapshot.json"
+_TOMBSTONE = "tombstone.json"
+_WAL_PREFIX = "wal-"
+_WAL_SUFFIX = ".jsonl"
+
+
+def _write_document(path: Path, payload: Mapping[str, Any]) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    os.replace(tmp, path)
+
+
+def _read_document(path: Path) -> dict | None:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise StoreError(f"malformed store document {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise StoreError(f"store document {path} is not a JSON object")
+    return payload
+
+
+class JsonlSessionStore(SessionStore):
+    """Segment-file backend; see the module docstring for the layout."""
+
+    kind = "jsonl"
+
+    def __init__(self, root: str | os.PathLike[str], fsync: str = "batch") -> None:
+        super().__init__()
+        if fsync not in FSYNC_POLICIES:
+            raise StoreError(
+                f"unknown fsync policy {fsync!r}; choose from {FSYNC_POLICIES}"
+            )
+        self._root = Path(root)
+        self._sessions_dir = self._root / "sessions"
+        self._sessions_dir.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._lock = threading.RLock()
+        # sid -> (open segment handle, entries since last fsync)
+        self._segments: dict[str, IO[str]] = {}
+        self._unsynced: dict[str, int] = {}
+        for sid_dir in self._sessions_dir.iterdir():
+            if sid_dir.is_dir():
+                self._index_session(sid_dir.name)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _dir(self, session_id: str) -> Path:
+        return self._sessions_dir / session_id
+
+    def _segment_paths(self, session_id: str) -> list[Path]:
+        sid_dir = self._dir(session_id)
+        if not sid_dir.is_dir():
+            return []
+        segments = [
+            p
+            for p in sid_dir.iterdir()
+            if p.name.startswith(_WAL_PREFIX) and p.name.endswith(_WAL_SUFFIX)
+        ]
+        return sorted(segments)
+
+    def _close_segment(self, session_id: str) -> None:
+        handle = self._segments.pop(session_id, None)
+        self._unsynced.pop(session_id, None)
+        if handle is not None:
+            handle.flush()
+            if self._fsync != "off":
+                os.fsync(handle.fileno())
+            handle.close()
+
+    def _read_entries(self, session_id: str) -> list[dict]:
+        entries: list[dict] = []
+        for segment in self._segment_paths(session_id):
+            with open(segment, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        # Torn trailing write from a crash: this entry was
+                        # never acknowledged, so drop it and stop reading.
+                        return entries
+                    if isinstance(entry, dict):
+                        entries.append(entry)
+        return entries
+
+    def _index_session(self, session_id: str) -> None:
+        stored = self.load(session_id)
+        if stored is not None:
+            self._index_idem_from(stored.snapshot, stored.entries)
+
+    # -- SessionStore primitives ---------------------------------------------
+
+    def create(self, session_id: str, meta: Mapping[str, Any]) -> None:
+        with self._lock:
+            self._close_segment(session_id)
+            sid_dir = self._dir(session_id)
+            if sid_dir.exists():
+                shutil.rmtree(sid_dir)
+            sid_dir.mkdir(parents=True)
+            _write_document(sid_dir / _META, meta)
+
+    def _append_now(self, session_id: str, entry: dict) -> None:
+        with self._lock:
+            handle = self._segments.get(session_id)
+            if handle is None:
+                sid_dir = self._dir(session_id)
+                if not sid_dir.is_dir():
+                    raise StoreError(
+                        f"cannot append to unknown session {session_id!r}"
+                    )
+                segments = self._segment_paths(session_id)
+                if segments:
+                    path = segments[-1]
+                else:
+                    snapshot = _read_document(sid_dir / _SNAPSHOT)
+                    start = int(snapshot["applied"]) if snapshot else 0
+                    path = sid_dir / f"{_WAL_PREFIX}{start:08d}{_WAL_SUFFIX}"
+                handle = open(path, "a", encoding="utf-8")
+                self._segments[session_id] = handle
+                self._unsynced[session_id] = 0
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            if self._fsync == "always":
+                os.fsync(handle.fileno())
+            elif self._fsync == "batch":
+                self._unsynced[session_id] += 1
+                if self._unsynced[session_id] >= FSYNC_BATCH:
+                    os.fsync(handle.fileno())
+                    self._unsynced[session_id] = 0
+
+    def write_snapshot(self, session_id: str, snapshot: dict) -> None:
+        with self._lock:
+            sid_dir = self._dir(session_id)
+            if not sid_dir.is_dir():
+                raise StoreError(
+                    f"cannot snapshot unknown session {session_id!r}"
+                )
+            self._close_segment(session_id)
+            applied = int(snapshot["applied"])
+            survivors = [
+                entry
+                for entry in self._read_entries(session_id)
+                if isinstance(entry.get("seq"), int)
+                and entry["seq"] >= applied
+            ]
+            _write_document(sid_dir / _SNAPSHOT, snapshot)
+            for segment in self._segment_paths(session_id):
+                segment.unlink()
+            if survivors:
+                # Compaction below the tip: the uncompacted tail is
+                # rewritten into the fresh post-snapshot segment.
+                path = sid_dir / f"{_WAL_PREFIX}{applied:08d}{_WAL_SUFFIX}"
+                with open(path, "w", encoding="utf-8") as fh:
+                    for entry in survivors:
+                        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+                    fh.flush()
+                    if self._fsync != "off":
+                        os.fsync(fh.fileno())
+            # The next append opens (or extends) wal-<applied>.jsonl.
+
+    def remove(self, session_id: str) -> None:
+        with self._lock:
+            self._close_segment(session_id)
+            sid_dir = self._dir(session_id)
+            if sid_dir.exists():
+                shutil.rmtree(sid_dir)
+
+    def set_tombstone(self, session_id: str, payload: Mapping[str, Any]) -> None:
+        with self._lock:
+            sid_dir = self._dir(session_id)
+            if not sid_dir.is_dir():
+                raise StoreError(
+                    f"cannot tombstone unknown session {session_id!r}"
+                )
+            self._close_segment(session_id)
+            _write_document(sid_dir / _TOMBSTONE, payload)
+
+    def clear_tombstone(self, session_id: str) -> None:
+        with self._lock:
+            tomb = self._dir(session_id) / _TOMBSTONE
+            if tomb.exists():
+                tomb.unlink()
+
+    def session_ids(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(
+                sorted(
+                    p.name
+                    for p in self._sessions_dir.iterdir()
+                    if p.is_dir() and (p / _META).exists()
+                )
+            )
+
+    def load(self, session_id: str) -> StoredSession | None:
+        with self._lock:
+            sid_dir = self._dir(session_id)
+            meta = _read_document(sid_dir / _META)
+            if meta is None:
+                return None
+            snapshot = _read_document(sid_dir / _SNAPSHOT)
+            applied = int(snapshot["applied"]) if snapshot else 0
+            entries = order_entries(applied, self._read_entries(session_id))
+            tombstone = _read_document(sid_dir / _TOMBSTONE)
+            return StoredSession(
+                session_id=session_id,
+                meta=meta,
+                snapshot=snapshot,
+                entries=entries,
+                tombstone=tombstone,
+            )
+
+    def tombstone(self, session_id: str) -> dict | None:
+        with self._lock:
+            return _read_document(self._dir(session_id) / _TOMBSTONE)
+
+    def tombstone_ids(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(
+                sorted(
+                    p.name
+                    for p in self._sessions_dir.iterdir()
+                    if p.is_dir() and (p / _TOMBSTONE).exists()
+                )
+            )
+
+    def sync(self) -> None:
+        with self._lock:
+            for sid, handle in self._segments.items():
+                handle.flush()
+                if self._fsync != "off":
+                    os.fsync(handle.fileno())
+                self._unsynced[sid] = 0
+
+    def close(self) -> None:
+        with self._lock:
+            for sid in list(self._segments):
+                self._close_segment(sid)

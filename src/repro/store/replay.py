@@ -1,0 +1,87 @@
+"""Command codec and replay dispatcher for session recovery.
+
+WAL entries log the *executed* verb in wire shape (the same predicate
+codec the protocol uses), with hypothesis ids already resolved — replay
+never re-runs ``$prev`` resolution or id lookup, it re-executes exactly
+what the original execution executed.  Replay routes through the public
+:class:`~repro.service.manager.SessionManager` verbs, so the rebuilt
+session exercises the same statistical code paths as the live one; the
+byte-identical decision-log check in ``recover_session`` is what makes
+that equivalence an enforced invariant rather than an assumption.
+
+This module may import :mod:`repro.api.protocol` at module level; the
+manager only reaches it through function-level imports, which keeps the
+``repro.api`` → ``api.service`` → ``service.manager`` import chain
+acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.api.protocol import predicate_from_dict, predicate_to_dict
+from repro.errors import StoreError
+from repro.exploration.predicate import Predicate
+
+__all__ = [
+    "encode_show",
+    "encode_hypothesis_verb",
+    "apply_command",
+    "REPLAYABLE_VERBS",
+]
+
+#: Verbs the WAL may contain; anything else fails replay loudly.
+REPLAYABLE_VERBS = ("show", "star", "unstar", "override", "delete")
+
+
+def encode_show(
+    attribute: str,
+    where: Predicate | None,
+    bins: int | None,
+    descriptive: bool,
+) -> dict:
+    """Wire-shaped WAL command for one executed ``show``."""
+    return {
+        "cmd": "show",
+        "attribute": attribute,
+        "where": predicate_to_dict(where) if where is not None else None,
+        "bins": bins,
+        "descriptive": bool(descriptive),
+    }
+
+
+def encode_hypothesis_verb(verb: str, hypothesis_id: int) -> dict:
+    """Wire-shaped WAL command for star/unstar/override/delete."""
+    if verb not in REPLAYABLE_VERBS or verb == "show":
+        raise StoreError(f"not a hypothesis verb: {verb!r}")
+    return {"cmd": verb, "hypothesis_id": int(hypothesis_id)}
+
+
+def apply_command(manager, session_id: str, cmd: Mapping[str, Any]) -> None:
+    """Re-execute one logged command against *manager*'s session.
+
+    Shows replay with ``reject_exhausted=False``: every logged command
+    succeeded originally, and an exhausted-wealth auto-acceptance is part
+    of the recorded decision trail, not an error to re-litigate.
+    """
+    verb = cmd.get("cmd")
+    if verb == "show":
+        where = cmd.get("where")
+        manager.show(
+            session_id,
+            cmd["attribute"],
+            where=predicate_from_dict(where) if where is not None else None,
+            bins=cmd.get("bins"),
+            descriptive=bool(cmd.get("descriptive", False)),
+            reject_exhausted=False,
+        )
+    elif verb == "star":
+        manager.star(session_id, cmd["hypothesis_id"])
+    elif verb == "unstar":
+        manager.unstar(session_id, cmd["hypothesis_id"])
+    elif verb == "override":
+        manager.override_with_means(session_id, cmd["hypothesis_id"])
+    elif verb == "delete":
+        manager.delete_hypothesis(session_id, cmd["hypothesis_id"])
+    else:
+        raise StoreError(f"unreplayable WAL command {verb!r}")

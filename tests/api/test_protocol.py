@@ -51,7 +51,8 @@ class TestCommandCodec:
             assert rebuilt == command
 
     def test_all_registered_verbs_have_distinct_wire_names(self):
-        assert len(COMMANDS) == 13  # 12 v1 verbs + the v2 pipeline envelope
+        # 12 v1 verbs + the v2 pipeline envelope + the v2 recover verb
+        assert len(COMMANDS) == 14
         assert all(cls.cmd == verb for verb, cls in COMMANDS.items())
 
     def test_missing_version_rejected(self):
