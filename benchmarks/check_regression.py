@@ -46,13 +46,22 @@ DEFAULT_THRESHOLD = 2.5
 def scale_cell_name(cell: dict) -> str:
     """The benchmark name a ``BENCH_scale.json`` cell is gated under.
 
+    ``router`` cells carry a ``workers`` count and gate under
+    ``..._router_w{workers}``, so the same grid point at different fleet
+    sizes stays two distinct benchmarks — their ratio is what a
+    ``--min-speedup`` scaling-curve gate checks.
+
     Mirrors ``repro.service.sweep.cell_bench_name`` (this script stays
     stdlib-only, so the derivation is duplicated and pinned in sync by
     ``tests/service/test_check_regression.py``).
     """
     transport = cell.get("transport", "manager")
-    return (f"scale_{cell['rows']}x{cell['sessions']}"
+    name = (f"scale_{cell['rows']}x{cell['sessions']}"
             f"_{cell['workload']}_{transport}")
+    workers = cell.get("workers")
+    if workers is not None:
+        name += f"_w{workers}"
+    return name
 
 
 def load_means(path: Path) -> dict[str, float]:

@@ -26,6 +26,7 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 from repro.service.sweep import (  # noqa: E402
+    DEFAULT_TRANSPORTS,
     TRANSPORTS,
     WORKLOADS,
     ScaleSweep,
@@ -57,12 +58,20 @@ def build_parser() -> argparse.ArgumentParser:
                         default=list(WORKLOADS),
                         help="workloads to replay per grid point")
     parser.add_argument("--transport", nargs="+", choices=TRANSPORTS,
-                        default=list(TRANSPORTS), dest="transports",
+                        default=list(DEFAULT_TRANSPORTS), dest="transports",
                         help="transports to drive per grid point: direct "
                              "manager dispatch, per-command service calls, "
-                             "and/or batched v2 pipeline envelopes "
-                             "(default: all three, so pipeline cells record "
-                             "their speedup over the service cells)")
+                             "batched v2 pipeline envelopes, and/or pipeline "
+                             "envelopes through a sharded multi-process "
+                             "router (default: the three in-process ones, "
+                             "so pipeline cells record their speedup over "
+                             "the service cells)")
+    parser.add_argument("--workers", type=int, nargs="+", default=None,
+                        help="worker-process counts for router cells; "
+                             "implies the router transport (each count "
+                             "writes its own scale_*_router_w{N} cell, so "
+                             "e.g. '--workers 1 4' records the scaling "
+                             "curve CI gates with --min-speedup)")
     parser.add_argument("--repeats", type=int, default=1,
                         help="re-measure each cell this many times, pooling "
                              "latency samples (default 1; CI uses 3 to "
@@ -86,13 +95,18 @@ def main(argv: list[str] | None = None) -> int:
     else:
         rows = tuple(args.rows) if args.rows else (100_000,)
         sessions = tuple(args.sessions) if args.sessions else (16,)
+    transports = tuple(args.transports)
+    workers_grid = tuple(args.workers) if args.workers else ()
+    if workers_grid and "router" not in transports:
+        transports = transports + ("router",)
     sweep = ScaleSweep(
         rows_grid=rows,
         sessions_grid=sessions,
         steps=args.steps,
         seed=args.seed,
         workloads=tuple(args.workloads),
-        transports=tuple(args.transports),
+        transports=transports,
+        workers_grid=workers_grid,
         parallel=not args.serial,
         max_workers=args.max_workers,
         repeats=args.repeats,

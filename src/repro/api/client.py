@@ -36,6 +36,8 @@ from __future__ import annotations
 import dataclasses
 import http.client
 import json
+import random
+import time
 import uuid
 import warnings
 from typing import Any, Iterator, Mapping
@@ -67,7 +69,14 @@ from repro.api.protocol import (
 )
 
 __all__ = ["ApiError", "Client", "PipelineBuilder", "PipelineResult",
-           "EventStream"]
+           "EventStream", "RETRY_ATTEMPTS", "RETRY_BASE_DELAY"]
+
+#: Default total connection attempts for idempotent requests.  Attempt 2
+#: is immediate (a stale keep-alive connection needs only a reconnect);
+#: attempts 3+ back off with full jitter, so the default rides out a
+#: worker restart of up to roughly RETRY_BASE_DELAY * (2**(n-2) - 1).
+RETRY_ATTEMPTS = 5
+RETRY_BASE_DELAY = 0.25
 
 
 class ApiError(ReproError):
@@ -368,11 +377,20 @@ class Client:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8765,
-                 timeout: float = 30.0, auto_idem: bool = True) -> None:
+                 timeout: float = 30.0, auto_idem: bool = True,
+                 retry_attempts: int = RETRY_ATTEMPTS,
+                 retry_base_delay: float = RETRY_BASE_DELAY) -> None:
+        if retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.auto_idem = auto_idem
+        #: Total connection attempts for idempotent requests (the first
+        #: retry is immediate — the stale-keep-alive case — later ones
+        #: back off with jitter to ride out a worker restart).
+        self.retry_attempts = retry_attempts
+        self.retry_base_delay = retry_base_delay
         self._recovery = False
         self._conn: http.client.HTTPConnection | None = None
 
@@ -416,19 +434,37 @@ class Client:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _retry_sleep(self, attempt: int) -> None:
+        """Back off before retry *attempt* (the first retry is free).
+
+        Exponential with full jitter: a fleet of clients hammering a
+        worker that just restarted behind the router must not reconnect
+        in lockstep.  The jitter is transport-level only — it can never
+        influence a decision, so the determinism invariant is untouched.
+        """
+        if attempt <= 1:
+            return  # stale keep-alive: reconnect immediately
+        bound = self.retry_base_delay * (2 ** (attempt - 2))
+        time.sleep(random.uniform(0, bound))
+
     def _post(self, payload: dict) -> tuple[int, dict]:
         body = json.dumps(payload).encode("utf-8")
         headers = {"Content-Type": "application/json"}
-        # A stale keep-alive connection may be retried for read-only verbs
+        # Connection-level failures may be retried for read-only verbs
         # (nothing to double-apply) and for idem-stamped requests: a
         # mutating command that already executed server-side before the
         # connection died is *replayed*, not re-executed, so one user
-        # action can never spend alpha-wealth twice.
+        # action can never spend alpha-wealth twice.  Retries are bounded
+        # (retry_attempts) with jittered exponential backoff so a worker
+        # restarting behind the router is invisible to callers; anything
+        # non-idempotent still raises on the first failure.
         retriable = (
             payload.get("cmd") in READ_ONLY_COMMANDS
             or _is_idempotent(payload)
         )
-        for attempt in (0, 1):
+        attempts = self.retry_attempts if retriable else 1
+        for attempt in range(attempts):
+            self._retry_sleep(attempt)
             conn = self._connection()
             try:
                 conn.request("POST", "/v1/command", body=body, headers=headers)
@@ -437,7 +473,7 @@ class Client:
                 return response.status, json.loads(raw.decode("utf-8"))
             except (ConnectionError, http.client.HTTPException, OSError):
                 self.close()
-                if attempt or not retriable:
+                if attempt + 1 >= attempts:
                     raise
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -586,14 +622,17 @@ class Client:
         """Close and forget a session."""
         self.call(CloseSession(session_id=session_id))
 
-    def recover(self, session_id: str) -> dict:
+    def recover(self, session_id: str, fresh: bool = False) -> dict:
         """Revive an evicted-or-crashed session from the server's store.
 
-        Idempotent: recovering a live session is a no-op.  Returns the
+        Idempotent: recovering a live session is a no-op — unless
+        *fresh*, which drops the live copy and rebuilds it from the
+        store (the shard-move primitive; see
+        :class:`~repro.api.protocol.RecoverSession`).  Returns the
         rebuilt gauge summary plus ``recovered``/``replayed``/
         ``decisions`` counters.  Requires a store-backed server.
         """
-        return self.call(RecoverSession(session_id=session_id))
+        return self.call(RecoverSession(session_id=session_id, fresh=fresh))
 
     # -- v2: pipelines & events ----------------------------------------------
 
@@ -645,11 +684,13 @@ class Client:
     def health(self) -> dict:
         """GET /healthz (transport-level liveness, not a protocol command).
 
-        Retries once on a stale keep-alive connection, like every other
-        read: a probe must report on the *server's* health, not on
-        whether this client's pooled connection happened to have expired.
+        Retries like every other read (bounded, jittered): a probe must
+        report on the *server's* health, not on whether this client's
+        pooled connection happened to have expired or the server was
+        mid-restart.
         """
-        for attempt in (0, 1):
+        for attempt in range(self.retry_attempts):
+            self._retry_sleep(attempt)
             conn = self._connection()
             try:
                 conn.request("GET", "/healthz")
@@ -657,7 +698,7 @@ class Client:
                 return json.loads(response.read().decode("utf-8"))
             except (ConnectionError, http.client.HTTPException, OSError):
                 self.close()
-                if attempt:
+                if attempt + 1 >= self.retry_attempts:
                     raise
         raise AssertionError("unreachable")  # pragma: no cover
 

@@ -272,6 +272,7 @@ class ApiHttpServer:
         stats = service.manager.stats()  # sweeps idle sessions first
         datasets = {name: 0 for name in service.manager.dataset_names()}
         datasets.update(stats.sessions_per_dataset)
+        store = service.manager.store
         return {
             "v": PROTOCOL_VERSION,
             "ok": True,
@@ -287,6 +288,13 @@ class ApiHttpServer:
                 "tombstones": stats.tombstones,
                 "event_subscribers":
                     service.manager.events.subscriber_count(),
+                # The persistence config: what a crash can cost depends on
+                # the backend and its fsync policy, so the probe reports
+                # both (null when the server runs without a store).
+                "store": None if store is None else {
+                    "backend": store.kind,
+                    "fsync": store.fsync,
+                },
             },
         }
 
@@ -458,10 +466,18 @@ class ServerThread:
 def serve_forever(
     service: ExplorationService, host: str = "127.0.0.1", port: int = 8765,
     announce=print, event_heartbeat_s: float = 15.0,
+    server_factory=None,
 ) -> None:
-    """Blocking convenience used by ``repro serve``: serve until Ctrl-C."""
-    server = ApiHttpServer(service, host=host, port=port,
-                           event_heartbeat_s=event_heartbeat_s)
+    """Blocking convenience used by ``repro serve``: serve until Ctrl-C.
+
+    *server_factory* swaps the server class (same constructor signature);
+    ``repro serve --workers N`` passes the router-aware subclass so the
+    cluster front end reuses this loop — and prints the same banner the
+    supervisor and the kill-9 tests parse the port out of.
+    """
+    factory = server_factory or ApiHttpServer
+    server = factory(service, host=host, port=port,
+                     event_heartbeat_s=event_heartbeat_s)
 
     async def _main() -> None:
         await server.start()

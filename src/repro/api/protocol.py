@@ -456,11 +456,20 @@ class RecoverSession(Command):
     :meth:`repro.api.client.Client.with_recovery` to issue transparently.
     Requires the server to run with ``--store``; without one the command
     fails with a ``STORE`` envelope.
+
+    With ``fresh=true`` a *live* session is dropped and rebuilt from the
+    durable store instead of being left alone.  This is the shard-move
+    primitive: when session ownership migrates between workers sharing
+    one store path, the new owner's in-memory copy (if any) may predate
+    entries the previous owner committed, so the router forces a re-read.
+    Replay is verified byte-identical to the stored records either way,
+    so a fresh recover can never lose acknowledged state.
     """
 
     cmd = "recover"
 
     session_id: str
+    fresh: bool = False
 
 
 @dataclass(frozen=True)
@@ -616,6 +625,7 @@ _FIELD_TYPES: dict[str, tuple[tuple[type, ...], bool]] = {
     "descriptive": ((bool,), False),
     "procedure_kwargs": ((Mapping,), False),
     "idem": ((str,), True),
+    "fresh": ((bool,), False),
 }
 
 

@@ -473,7 +473,8 @@ class ExplorationService:
                 "(start it with --store)"
             )
         if cmd.session_id in self.manager.session_ids():
-            report = self.manager.recover_session(cmd.session_id)
+            report = self.manager.recover_session(cmd.session_id,
+                                                  fresh=cmd.fresh)
         else:
             self.manager.evict_idle()
             if (
@@ -494,7 +495,8 @@ class ExplorationService:
                              "max_sessions": self.max_sessions,
                              "admission_policy": self.admission_policy},
                         )
-                report = self.manager.recover_session(cmd.session_id)
+                report = self.manager.recover_session(cmd.session_id,
+                                                      fresh=cmd.fresh)
         summary = self._gauge_summary(cmd.session_id)
         summary["recovered"] = report["recovered"]
         summary["replayed"] = report["replayed"]

@@ -75,12 +75,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0,
                        help="census + workload seed (default 0)")
     sweep.add_argument("--transport", nargs="+", dest="transports",
-                       choices=["manager", "service", "pipeline"],
+                       choices=["manager", "service", "pipeline", "router"],
                        default=["manager", "service", "pipeline"],
                        help="transports to drive gesture traffic through: "
                             "direct manager dispatch, per-command service "
-                            "calls, batched v2 pipeline envelopes "
-                            "(default: all three)")
+                            "calls, batched v2 pipeline envelopes, or "
+                            "pipeline envelopes through a sharded "
+                            "multi-process router (default: the three "
+                            "in-process ones)")
+    sweep.add_argument("--workers", type=int, nargs="+", default=None,
+                       help="worker-process counts for router cells; "
+                            "implies the router transport")
     sweep.add_argument("--repeats", type=int, default=1,
                        help="re-measure each cell this many times, pooling "
                             "latency samples (default 1)")
@@ -140,6 +145,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "snapshot every N committed commands; 0 disables "
                             "compaction (default: the manager's "
                             "DEFAULT_SNAPSHOT_EVERY)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="run a sharded cluster: spawn N worker processes "
+                            "over the shared --store path and serve a "
+                            "consistent-hash router in front of them "
+                            "(requires --store; default: single-node)")
+    serve.add_argument("--replicas", type=int, default=None, metavar="K",
+                       help="virtual points per worker on the router's hash "
+                            "ring (cluster mode only; default 64)")
+
+    route = sub.add_parser(
+        "route",
+        help="front already-running workers with a consistent-hash "
+             "session router (workers are not supervised or restarted)",
+    )
+    route.add_argument("--worker", action="append", dest="workers",
+                       metavar="HOST:PORT", required=True,
+                       help="a running `repro serve` worker to route to; "
+                            "repeat once per worker")
+    route.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    route.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks a free one (default 8765)")
+    route.add_argument("--replicas", type=int, default=None, metavar="K",
+                       help="virtual points per worker on the hash ring "
+                            "(default 64)")
+    route.add_argument("--event-heartbeat", type=float, default=15.0,
+                       metavar="SECONDS",
+                       help="SSE keep-alive comment interval on "
+                            "/v1/events/{session} (default 15)")
     return parser
 
 
@@ -250,12 +284,17 @@ def _run_holdout(args) -> str:
 def _run_serve_sweep(args) -> str:
     from repro.service.sweep import ScaleSweep, append_record, format_cells, sweep_extra
 
+    transports = tuple(args.transports)
+    workers_grid = tuple(args.workers) if args.workers else ()
+    if workers_grid and "router" not in transports:
+        transports = transports + ("router",)
     sweep = ScaleSweep(
         rows_grid=tuple(args.rows),
         sessions_grid=tuple(args.sessions),
         steps=args.steps,
         seed=args.seed,
-        transports=tuple(args.transports),
+        transports=transports,
+        workers_grid=workers_grid,
         parallel=not args.serial,
         repeats=args.repeats,
     )
@@ -279,6 +318,8 @@ def _run_serve(args) -> str:
                                        DEFAULT_TOMBSTONE_LIMIT, SessionManager)
     from repro.workloads.census import make_census
 
+    if args.workers is not None:
+        return _run_cluster(args)
     if args.max_sessions is None:
         max_sessions = DEFAULT_MAX_SESSIONS
     elif args.max_sessions == 0:
@@ -332,6 +373,65 @@ def _run_serve(args) -> str:
     return "server stopped"
 
 
+def _run_cluster(args) -> str:
+    from repro.api.http import serve_forever
+    from repro.cluster import DEFAULT_REPLICAS, Cluster, RouterHttpServer
+
+    if args.workers < 1:
+        raise SystemExit("error: --workers must be >= 1")
+    if args.store is None:
+        raise SystemExit(
+            "error: --workers requires --store (the shared write-ahead "
+            "store is what makes worker crashes recoverable)"
+        )
+    max_sessions = None if args.max_sessions == 0 else args.max_sessions
+    cluster = Cluster(
+        args.workers,
+        rows=args.rows,
+        seed=args.seed,
+        store=args.store,
+        store_path=args.store_path,
+        store_fsync=args.store_fsync,
+        snapshot_every=args.snapshot_every,
+        max_sessions=max_sessions,
+        replicas=(DEFAULT_REPLICAS if args.replicas is None
+                  else args.replicas),
+        announce=lambda line: print(f"cluster: {line}", flush=True),
+    )
+    print(f"starting {args.workers} worker(s) over {args.store} store "
+          f"at {args.store_path} (fsync {args.store_fsync})...", flush=True)
+    try:
+        cluster.start()
+        serve_forever(cluster.router, host=args.host, port=args.port,
+                      event_heartbeat_s=args.event_heartbeat,
+                      server_factory=RouterHttpServer)
+    finally:
+        cluster.stop()
+    return "cluster stopped"
+
+
+def _run_route(args) -> str:
+    from repro.api.http import serve_forever
+    from repro.cluster import (DEFAULT_REPLICAS, RemoteWorker,
+                               RouterHttpServer, RouterService)
+
+    router = RouterService(
+        replicas=(DEFAULT_REPLICAS if args.replicas is None
+                  else args.replicas),
+    )
+    for index, spec in enumerate(args.workers):
+        host, sep, port = spec.rpartition(":")
+        if not sep or not port.isdigit():
+            raise SystemExit(f"error: --worker expects HOST:PORT, got {spec!r}")
+        worker_id = f"w{index}"
+        router.add_worker(worker_id, RemoteWorker(worker_id, host, int(port)))
+        print(f"route: worker {worker_id} -> {host}:{port}", flush=True)
+    serve_forever(router, host=args.host, port=args.port,
+                  event_heartbeat_s=args.event_heartbeat,
+                  server_factory=RouterHttpServer)
+    return "router stopped"
+
+
 _COMMANDS = {
     "exp1a": _run_exp1a,
     "exp1b": _run_exp1b,
@@ -341,6 +441,7 @@ _COMMANDS = {
     "holdout": _run_holdout,
     "serve-sweep": _run_serve_sweep,
     "serve": _run_serve,
+    "route": _run_route,
 }
 
 

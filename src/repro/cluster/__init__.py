@@ -1,0 +1,40 @@
+"""Sharded multi-process service tier (PR 8).
+
+Three parts, layered bottom-up:
+
+* :mod:`repro.cluster.hashring` — deterministic consistent hashing of
+  session ids onto worker ids (virtual nodes, minimal movement);
+* :mod:`repro.cluster.supervisor` — spawns and restarts N ``repro
+  serve`` OS processes sharing one write-ahead store path;
+* :mod:`repro.cluster.router` — the v2-protocol pass-through front end
+  with shard-move semantics (``recover(fresh=true)`` on ownership
+  change, idem-replay across reassignment, failover for idempotent
+  requests).
+
+``repro serve --workers N`` boots a :class:`~repro.cluster.router.Cluster`;
+``repro route`` fronts already-running workers.
+"""
+
+from repro.cluster.hashring import DEFAULT_REPLICAS, HashRing, ring_hash
+from repro.cluster.router import (
+    Cluster,
+    LocalWorker,
+    RemoteWorker,
+    RouterHttpServer,
+    RouterService,
+)
+from repro.cluster.supervisor import BANNER_RE, Worker, WorkerSupervisor
+
+__all__ = [
+    "BANNER_RE",
+    "Cluster",
+    "DEFAULT_REPLICAS",
+    "HashRing",
+    "LocalWorker",
+    "RemoteWorker",
+    "RouterHttpServer",
+    "RouterService",
+    "Worker",
+    "WorkerSupervisor",
+    "ring_hash",
+]

@@ -1,0 +1,106 @@
+"""Consistent-hash ring mapping session ids to worker ids.
+
+The router's placement function: each worker contributes *replicas*
+virtual points on a 64-bit ring (hashing ``"{worker}#{i}"``), and a
+session belongs to the first worker point at or clockwise-after the
+session id's own hash.  Two properties the cluster relies on:
+
+* **determinism across processes** — points come from BLAKE2b digests of
+  the id strings, never from Python's salted ``hash()``, so a restarted
+  router computes the same placement for the same worker set (session
+  placement is routing state, and routing state must be reconstructible);
+* **minimal movement** — removing a worker reassigns only the sessions it
+  owned (they fall to the next point clockwise); adding it back restores
+  exactly the previous placement.  Shard moves are therefore rare and
+  localized, and each one is paired with a ``recover(fresh=true)`` replay
+  from the shared store (see :mod:`repro.cluster.router`).
+
+Virtual points smooth the ranges: with the default 64 replicas the
+worker-load spread over random session ids stays within a few tens of
+percent of uniform, which is plenty for the N<=dozens workers this tier
+targets.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing", "DEFAULT_REPLICAS", "ring_hash"]
+
+#: Virtual points per worker.
+DEFAULT_REPLICAS = 64
+
+
+def ring_hash(key: str) -> int:
+    """Deterministic 64-bit ring position of *key* (process-independent)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring of named nodes.
+
+    Not thread-safe by itself — the router guards it with its own lock
+    (membership changes and lookups must be atomic *together with* the
+    ownership bookkeeping anyway).
+    """
+
+    def __init__(self, replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: list[int] = []          # sorted ring positions
+        self._owners: dict[int, str] = {}     # position -> node
+        self._nodes: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Current members, sorted (stable for display and tests)."""
+        return tuple(sorted(self._nodes))
+
+    def _node_points(self, node: str) -> list[int]:
+        return [ring_hash(f"{node}#{i}") for i in range(self.replicas)]
+
+    def add(self, node: str) -> None:
+        """Add *node*'s virtual points (no-op if already present)."""
+        if node in self._nodes:
+            return
+        for point in self._node_points(node):
+            if self._owners.setdefault(point, node) != node:
+                # A 64-bit digest collision between two live nodes: keep
+                # the incumbent's point (placement must stay a function,
+                # not depend on join order beyond this deterministic rule).
+                continue
+            bisect.insort(self._points, point)
+        self._nodes.add(node)
+
+    def remove(self, node: str) -> None:
+        """Remove *node*'s virtual points (no-op if absent)."""
+        if node not in self._nodes:
+            return
+        for point in self._node_points(node):
+            if self._owners.get(point) == node:
+                del self._owners[point]
+                index = bisect.bisect_left(self._points, point)
+                del self._points[index]
+        self._nodes.discard(node)
+
+    def owner(self, key: str) -> str | None:
+        """The node owning *key*, or None when the ring is empty."""
+        if not self._points:
+            return None
+        index = bisect.bisect_right(self._points, ring_hash(key))
+        if index == len(self._points):
+            index = 0  # wrap past the top of the ring
+        return self._owners[self._points[index]]
+
+    def assignment(self, keys) -> dict[str, str | None]:
+        """Batch :meth:`owner` lookup (diagnostics and tests)."""
+        return {key: self.owner(key) for key in keys}

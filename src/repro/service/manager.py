@@ -1132,7 +1132,7 @@ class SessionManager:
             if not self._store.defer_after_commit(sid, compact):
                 compact()
 
-    def recover_session(self, session_id: str) -> dict:
+    def recover_session(self, session_id: str, *, fresh: bool = False) -> dict:
         """Rebuild one session from the store by replaying its WAL.
 
         Idempotent: recovering a live session is a no-op answering
@@ -1142,21 +1142,49 @@ class SessionManager:
         on mismatch the half-built session is discarded and
         :class:`~repro.errors.RecoveryError` raised.  Success clears any
         tombstone (in-memory and durable): the session is live again.
+
+        With ``fresh=True`` a live session is *dropped first* and rebuilt
+        from the store — the shard-move primitive: a worker whose
+        in-memory copy may predate entries another process committed to
+        the shared store must re-read rather than trust it.  The stored
+        session's idem tokens are folded into this process's index either
+        way, so retries of commands the previous owner acknowledged
+        replay their recorded responses instead of re-executing.
         """
         if self._store is None:
             raise StoreError("no session store configured; nothing to recover")
         managed = self._sessions.get(session_id)
         if managed is not None:
-            with managed.lock:
-                return {
-                    "session_id": session_id,
-                    "recovered": False,
-                    "replayed": 0,
-                    "decisions": len(managed.log),
-                }
+            if not fresh:
+                with managed.lock:
+                    return {
+                        "session_id": session_id,
+                        "recovered": False,
+                        "replayed": 0,
+                        "decisions": len(managed.log),
+                    }
+            self._forget_session(session_id)
         stored = self._store.load(session_id)
         if stored is None:
             raise SessionError(f"no stored session {session_id!r}")
+        self._store.index_idem(stored)
+        create_token = stored.meta.get("idem_token")
+        if create_token:
+            # The create's own token rides in the durable meta (creates
+            # are not staged, so no entry records its response): fold it
+            # in too, exactly as recover_all does at boot, so a client
+            # retrying its create lands on the recorded session instead
+            # of opening a twin on the new shard owner.
+            self._store.register_idem(create_token, {
+                "v": 2,
+                "ok": True,
+                "result": {
+                    "session_id": session_id,
+                    "dataset": stored.meta.get("dataset"),
+                    "procedure": stored.meta.get("procedure"),
+                    "alpha": stored.meta.get("alpha"),
+                },
+            })
         meta = stored.meta
         commands = stored.commands()
         expected = stored.records()

@@ -32,6 +32,13 @@ time:
   - ``pipeline`` — the same gestures batched into v2 pipeline envelopes
     (whole gestures only, ≤ 64 commands per envelope, server-side
     ``"$prev"`` chaining): the many-analyst pipelined-traffic shape.
+  - ``router`` — the same pipeline envelopes, but over HTTP through a
+    live :class:`repro.cluster.Cluster`: a consistent-hash router
+    fronting N ``repro serve`` worker *processes* (the ``workers``
+    axis), each a full Python interpreter — the one transport that can
+    scale past the GIL.  Router cells carry a ``workers`` count and are
+    gated under ``scale_*_router_w{workers}`` names, so the scaling
+    curve (w1 vs w4 throughput) is a CI-checkable artifact.
 
   All three transports reject wealth-spending shows on an exhausted
   session (the wire boundary's admission rule) and abort a gesture at
@@ -88,6 +95,7 @@ __all__ = [
     "ScaleSweep",
     "WORKLOADS",
     "TRANSPORTS",
+    "DEFAULT_TRANSPORTS",
     "GestureMeasurement",
     "compile_gestures",
     "run_gestures_manager",
@@ -104,7 +112,12 @@ __all__ = [
 WORKLOADS: tuple[str, ...] = ("synthetic", "user-study")
 
 #: Transport axis: how gesture traffic reaches the engine.
-TRANSPORTS: tuple[str, ...] = ("manager", "service", "pipeline")
+TRANSPORTS: tuple[str, ...] = ("manager", "service", "pipeline", "router")
+
+#: Default transports: the in-process three.  ``router`` boots real OS
+#: processes per cell, so it is opt-in (pass it explicitly, or use the
+#: CLI's ``--workers``).
+DEFAULT_TRANSPORTS: tuple[str, ...] = ("manager", "service", "pipeline")
 
 #: Size of the shared (attribute, filter) pool for the synthetic workload.
 _SYNTHETIC_POOL_SIZE = 64
@@ -144,6 +157,8 @@ class SweepCell:
     cache_hit_rate: float
     discoveries: int
     pipeline_speedup: float | None = None
+    #: Worker-process count (``router`` transport only).
+    workers: int | None = None
 
     def to_dict(self) -> dict:
         payload = {
@@ -169,19 +184,29 @@ class SweepCell:
         }
         if self.pipeline_speedup is not None:
             payload["pipeline_speedup"] = self.pipeline_speedup
+        if self.workers is not None:
+            payload["workers"] = self.workers
         return payload
 
 
 def cell_bench_name(
-    rows: int, sessions: int, workload: str, transport: str = "manager"
+    rows: int, sessions: int, workload: str, transport: str = "manager",
+    workers: int | None = None,
 ) -> str:
     """The stable benchmark name a sweep cell is gated under.
+
+    Router cells append ``_w{workers}`` so the same grid point at
+    different fleet sizes gates independently (and their ratio is the
+    scaling curve ``--min-speedup`` checks).
 
     ``benchmarks/check_regression.py`` derives the same names from raw
     ledger cells (it stays stdlib-only and cannot import this module);
     ``tests/service/test_check_regression.py`` pins the two in sync.
     """
-    return f"scale_{rows}x{sessions}_{workload}_{transport}"
+    name = f"scale_{rows}x{sessions}_{workload}_{transport}"
+    if workers is not None:
+        name += f"_w{workers}"
+    return name
 
 
 # ---------------------------------------------------------------------------
@@ -525,6 +550,13 @@ class ScaleSweep:
         workload) point.  When both ``service`` and ``pipeline`` run,
         each ``pipeline`` cell records the ``pipeline_speedup`` ratio
         against its matching ``service`` cell.
+    workers_grid:
+        Fleet sizes for the ``router`` transport: each grid point runs
+        once per worker count, booting a fresh :class:`repro.cluster.
+        Cluster` (real OS processes over a throwaway jsonl store,
+        ``fsync=off`` so the disk is not the thing measured).  Requires
+        ``router`` in *transports*; defaults to ``(1,)`` when ``router``
+        is selected without an explicit grid.
     procedure / procedure_kwargs:
         The per-session streaming procedure (every session gets a fresh
         instance — wealth is never shared).
@@ -549,7 +581,8 @@ class ScaleSweep:
         steps: int = 40,
         seed: int = 0,
         workloads: Sequence[str] = WORKLOADS,
-        transports: Sequence[str] = TRANSPORTS,
+        transports: Sequence[str] = DEFAULT_TRANSPORTS,
+        workers_grid: Sequence[int] = (),
         procedure: str = "epsilon-hybrid",
         procedure_kwargs: dict | None = None,
         parallel: bool = True,
@@ -576,6 +609,15 @@ class ScaleSweep:
             raise InvalidParameterError("transports must not be empty")
         if repeats < 1:
             raise InvalidParameterError("repeats must be >= 1")
+        if workers_grid and "router" not in transports:
+            raise InvalidParameterError(
+                "workers_grid is the router transport's axis; add 'router' "
+                "to transports (or drop workers_grid)"
+            )
+        if "router" in transports and not workers_grid:
+            workers_grid = (1,)
+        if workers_grid and min(workers_grid) < 1:
+            raise InvalidParameterError("workers_grid values must be >= 1")
         self.rows_grid = tuple(sorted(set(int(r) for r in rows_grid)))
         self.sessions_grid = tuple(sorted(set(int(s) for s in sessions_grid)))
         self.steps = int(steps)
@@ -588,6 +630,7 @@ class ScaleSweep:
         self.transports = tuple(
             t for t in TRANSPORTS if t in set(transports)
         )
+        self.workers_grid = tuple(sorted(set(int(w) for w in workers_grid)))
         self.procedure = procedure
         self.procedure_kwargs = dict(procedure_kwargs or {})
         self.parallel = parallel
@@ -613,18 +656,25 @@ class ScaleSweep:
             for n_sessions in self.sessions_grid:
                 for workload in self.workloads:
                     for transport in self.transports:
-                        say(f"cell rows={rows} sessions={n_sessions} "
-                            f"workload={workload} transport={transport}")
-                        cell = self.run_cell(base, n_sessions, workload,
-                                             transport)
-                        key = (cell.rows, n_sessions, workload)
-                        if transport == "service":
-                            service_cells[key] = cell
-                        elif transport == "pipeline":
-                            cell = self._annotate_speedup(
-                                cell, service_cells.get(key)
-                            )
-                        cells.append(cell)
+                        fleet_sizes = (
+                            self.workers_grid if transport == "router"
+                            else (None,)
+                        )
+                        for workers in fleet_sizes:
+                            say(f"cell rows={rows} sessions={n_sessions} "
+                                f"workload={workload} transport={transport}"
+                                + (f" workers={workers}"
+                                   if workers is not None else ""))
+                            cell = self.run_cell(base, n_sessions, workload,
+                                                 transport, workers=workers)
+                            key = (cell.rows, n_sessions, workload)
+                            if transport == "service":
+                                service_cells[key] = cell
+                            elif transport == "pipeline":
+                                cell = self._annotate_speedup(
+                                    cell, service_cells.get(key)
+                                )
+                            cells.append(cell)
         return cells
 
     @staticmethod
@@ -682,6 +732,10 @@ class ScaleSweep:
                 if transport == "service":
                     run_gestures_service(service, sid, gestures)
                 else:
+                    # "pipeline" and "router" both drive pipeline
+                    # envelopes; the router's extra costs (HTTP, worker
+                    # boot) warm up at cluster start, inside the cell
+                    # but outside its measured section.
                     run_gestures_pipeline(service, sid, gestures)
 
     def run_cell(
@@ -690,6 +744,7 @@ class ScaleSweep:
         n_sessions: int,
         workload: str,
         transport: str = "manager",
+        workers: int | None = None,
     ) -> SweepCell:
         """Measure one grid cell; ``repeats`` replays pool their samples.
 
@@ -697,18 +752,32 @@ class ScaleSweep:
         trajectory, deterministic workload ⇒ identical counts and
         decisions), so pooling the latency samples is averaging
         measurements of the *same* experiment, not mixing different
-        ones.
+        ones.  ``router`` repeats each boot a fresh worker fleet over a
+        throwaway store for the same reason.
         """
         if transport not in TRANSPORTS:
             raise InvalidParameterError(
                 f"unknown transport {transport!r}; known: {list(TRANSPORTS)}"
             )
+        if transport == "router":
+            if workers is None:
+                workers = 1
+        elif workers is not None:
+            raise InvalidParameterError(
+                "workers is the router transport's axis"
+            )
         flat: list[GestureMeasurement] = []
         total_wall = 0.0
         for _ in range(self.repeats):
-            repeat_flat, wall, stats, discoveries, rows = self._measure_once(
-                base, n_sessions, workload, transport
-            )
+            if transport == "router":
+                repeat_flat, wall, stats, discoveries, rows = (
+                    self._measure_once_router(base, n_sessions, workload,
+                                              workers)
+                )
+            else:
+                repeat_flat, wall, stats, discoveries, rows = (
+                    self._measure_once(base, n_sessions, workload, transport)
+                )
             flat.extend(repeat_flat)
             total_wall += wall
         per_repeat = len(flat) // self.repeats
@@ -757,6 +826,7 @@ class ScaleSweep:
             ),
             cache_hit_rate=stats.shared_cache_hit_rate,
             discoveries=discoveries,
+            workers=workers,
         )
 
     def _measure_once(
@@ -844,6 +914,131 @@ class ScaleSweep:
         )
         return flat, wall, stats, discoveries, dataset.n_rows
 
+    def _measure_once_router(
+        self,
+        base: Dataset,
+        n_sessions: int,
+        workload: str,
+        workers: int,
+    ):
+        """One replay of a cell's workload through a live worker fleet.
+
+        Boots a fresh :class:`repro.cluster.Cluster` — *workers* real
+        ``repro serve`` processes over a throwaway jsonl store with
+        fsync off (the scaling curve must measure compute, not the
+        disk) — and drives the same compiled gestures as the
+        ``pipeline`` transport straight into the router's
+        ``handle_dict``: each envelope crosses to the owning worker as
+        JSON over HTTP, so the measured path is codec + wire + a whole
+        separate interpreter's execution.  Worker boot (census
+        generation, ``recover_all``) happens outside the measured
+        section, like dataset registration does on the in-process
+        transports.
+        """
+        import shutil
+        import tempfile
+        from types import SimpleNamespace
+
+        from repro.cluster import Cluster
+
+        tmp = tempfile.mkdtemp(prefix="repro-sweep-router-")
+        cluster = Cluster(
+            workers,
+            rows=base.n_rows,
+            seed=self.seed,
+            store="jsonl",
+            store_path=f"{tmp}/store",
+            store_fsync="off",
+        )
+        try:
+            cluster.start()
+            router = cluster.router
+
+            def call(request: dict) -> dict:
+                envelope = router.handle_dict(request)
+                if not envelope.get("ok"):
+                    raise InvalidParameterError(
+                        f"router cell setup call failed: {envelope.get('error')}"
+                    )
+                return envelope["result"]
+
+            session_ids = []
+            for _ in range(n_sessions):
+                create: dict = {"v": 2, "cmd": "create_session",
+                                "dataset": "census",
+                                "procedure": self.procedure}
+                if self.procedure_kwargs:
+                    create["procedure_kwargs"] = dict(self.procedure_kwargs)
+                session_ids.append(call(create)["session_id"])
+            if workload == "synthetic":
+                streams = _synthetic_streams(base, n_sessions, self.steps,
+                                             self.seed)
+            else:
+                streams = _user_study_streams(base, n_sessions, self.steps,
+                                              self.seed)
+            gestures_per_session = [compile_gestures(s) for s in streams]
+            measurements: list[list[GestureMeasurement]] = [
+                [] for _ in range(n_sessions)
+            ]
+
+            def run_session(index: int) -> None:
+                measurements[index] = run_gestures_pipeline(
+                    router, session_ids[index], gestures_per_session[index]
+                )
+
+            use_pool = (
+                self.parallel
+                and n_sessions > 1
+                and (self.max_workers is None or self.max_workers > 1)
+            )
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            start = time.perf_counter()
+            try:
+                if use_pool:
+                    with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                        futures = [
+                            pool.submit(run_session, i)
+                            for i in range(n_sessions)
+                        ]
+                        for fut in futures:
+                            fut.result()
+                else:
+                    for i in range(n_sessions):
+                        run_session(i)
+            finally:
+                wall = time.perf_counter() - start
+                if gc_was_enabled:
+                    gc.enable()
+
+            # Fleet-wide cache hit rate: fold every worker's counters
+            # (each process has its own caches — no cross-process
+            # sharing, which is part of what the scaling curve shows).
+            worker_stats = call({"v": 2, "cmd": "stats"})["workers"]
+            hits = misses = 0
+            for result in worker_stats.values():
+                hits += (result.get("mask_cache_hits", 0)
+                         + result.get("hist_cache_hits", 0))
+                misses += (result.get("mask_cache_misses", 0)
+                           + result.get("hist_cache_misses", 0))
+            stats = SimpleNamespace(
+                shared_cache_hit_rate=(
+                    hits / (hits + misses) if hits + misses else 0.0
+                )
+            )
+            discoveries = 0
+            for sid in session_ids:
+                export = call({"v": 2, "cmd": "export", "session_id": sid})
+                discoveries += sum(
+                    1 for h in export.get("hypotheses", ())
+                    if h.get("rejected") and h.get("status") == "active"
+                )
+            flat = [m for per_session in measurements for m in per_session]
+            return flat, wall, stats, discoveries, base.n_rows
+        finally:
+            cluster.stop()
+            shutil.rmtree(tmp, ignore_errors=True)
+
 
 def sweep_extra(sweep: ScaleSweep, label: str | None = None) -> dict:
     """Canonical record extras for *sweep* (single-sited so the CLI and
@@ -854,6 +1049,8 @@ def sweep_extra(sweep: ScaleSweep, label: str | None = None) -> dict:
         "parallel": sweep.parallel,
         "transports": list(sweep.transports),
     }
+    if sweep.workers_grid:
+        extra["workers_grid"] = list(sweep.workers_grid)
     if label:
         extra["label"] = label
     return extra
@@ -869,8 +1066,10 @@ def format_cells(cells: Sequence[SweepCell]) -> str:
     lines = [header, "-" * len(header)]
     for c in cells:
         speedup = f"{c.pipeline_speedup:.2f}x" if c.pipeline_speedup else "-"
+        transport = (c.transport if c.workers is None
+                     else f"{c.transport}_w{c.workers}")
         lines.append(
-            f"{c.rows:>9d} {c.sessions:>8d} {c.workload:>10} {c.transport:>9} "
+            f"{c.rows:>9d} {c.sessions:>8d} {c.workload:>10} {transport:>9} "
             f"{c.total_shows:>6d} {c.errors:>4d} "
             f"{c.mean_gesture_latency_ms:>8.3f} {c.mean_show_latency_ms:>8.3f} "
             f"{c.throughput_shows_per_s:>9.0f} {c.cache_hit_rate:>6.1%} "

@@ -161,6 +161,11 @@ class SessionStore(ABC):
     #: Backend name, echoed by ``stats`` and the serve banner.
     kind = "abstract"
 
+    #: Durability policy (``"always"``/``"batch"``/``"off"``) for backends
+    #: that fsync; None where the concept does not apply (memory).
+    #: Reported by ``/healthz`` so operators can see what a crash can cost.
+    fsync: str | None = None
+
     def __init__(self) -> None:
         self._idem_index: dict[str, dict] = {}
         self._idem_index_lock = threading.Lock()
@@ -235,6 +240,18 @@ class SessionStore(ABC):
         with self._idem_index_lock:
             response = self._idem_index.get(token)
             return dict(response) if response is not None else None
+
+    def index_idem(self, stored: "StoredSession") -> None:
+        """Fold *stored*'s durable idem tokens into the in-memory index.
+
+        Backends index only what they saw at open time plus their own
+        appends, so tokens committed by *another process* sharing the
+        store path are invisible until re-read.  Recovery paths call
+        this after ``load()`` so a shard that just took over a session
+        replays the previous owner's recorded responses instead of
+        re-executing (and double-spending α-wealth on) a retried token.
+        """
+        self._index_idem_from(stored.snapshot, stored.entries)
 
     def _index_idem_from(
         self, snapshot: Mapping | None, entries: Iterable[Mapping]

@@ -85,6 +85,7 @@ class JsonlSessionStore(SessionStore):
         self._sessions_dir = self._root / "sessions"
         self._sessions_dir.mkdir(parents=True, exist_ok=True)
         self._fsync = fsync
+        self.fsync = fsync
         self._lock = threading.RLock()
         # sid -> (open segment handle, entries since last fsync)
         self._segments: dict[str, IO[str]] = {}

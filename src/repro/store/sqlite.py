@@ -67,6 +67,7 @@ class SqliteSessionStore(SessionStore):
                 f"unknown fsync policy {fsync!r}; choose from "
                 f"{tuple(_SYNCHRONOUS)}"
             )
+        self.fsync = fsync
         self._path = os.fspath(path)
         parent = os.path.dirname(self._path)
         if parent:
@@ -75,6 +76,11 @@ class SqliteSessionStore(SessionStore):
         self._conn = sqlite3.connect(self._path, check_same_thread=False)
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute(f"PRAGMA synchronous={_SYNCHRONOUS[fsync]}")
+        # Sharded workers open the same file from several OS processes;
+        # without a busy timeout a writer that collides with another
+        # process's write-lock window raises "database is locked" instead
+        # of briefly queueing behind it.
+        self._conn.execute("PRAGMA busy_timeout=5000")
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
         for sid in self.session_ids():

@@ -1,0 +1,161 @@
+"""Client-side bounded retry with jitter (the router-era transport rule).
+
+A connection-level failure means "the socket died", never "the command
+failed" — so the client may retry exactly when resending cannot
+double-apply: read-only verbs, idem-stamped commands, and pipelines
+whose every mutating inner command is stamped.  Everything else raises
+on the first failure, because the worker may or may not have executed
+it.  No sockets here: the transport is faked so the retry policy itself
+is what's under test.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.api.client as client_mod
+from repro.api.client import (
+    RETRY_ATTEMPTS,
+    RETRY_BASE_DELAY,
+    Client,
+    _is_idempotent,
+)
+
+_ENVELOPE = {"v": 2, "ok": True, "result": {"wealth": 0.05}}
+
+
+class _FakeResponse:
+    status = 200
+
+    def __init__(self, payload):
+        self._raw = json.dumps(payload).encode()
+
+    def read(self):
+        return self._raw
+
+
+class _FakeConn:
+    """One scripted connection: fails on request, or answers."""
+
+    def __init__(self, fail: bool, payload=None):
+        self.fail = fail
+        self.payload = payload
+
+    def request(self, *args, **kwargs):
+        if self.fail:
+            raise ConnectionError("socket died")
+
+    def getresponse(self):
+        return _FakeResponse(self.payload)
+
+    def close(self):
+        pass
+
+
+def _scripted_client(script, **kwargs) -> tuple[Client, list[int]]:
+    """A client whose transport follows *script* (list of _FakeConn)
+    and whose backoff sleeps are recorded instead of slept."""
+    client = Client("127.0.0.1", 1, **kwargs)
+    plan = iter(script)
+    client._connection = lambda: next(plan)
+    sleeps: list[int] = []
+    client._retry_sleep = sleeps.append
+    return client, sleeps
+
+
+class TestRetryPolicy:
+    def test_read_only_request_survives_transient_failures(self):
+        client, sleeps = _scripted_client([
+            _FakeConn(True), _FakeConn(True), _FakeConn(False, _ENVELOPE),
+        ])
+        status, envelope = client._post(
+            {"v": 2, "cmd": "wealth", "session_id": "s1"})
+        assert status == 200 and envelope == _ENVELOPE
+        assert sleeps == [0, 1, 2]  # attempt index fed to the backoff
+
+    def test_idem_stamped_mutation_is_retried(self):
+        client, _ = _scripted_client([
+            _FakeConn(True), _FakeConn(False, _ENVELOPE),
+        ])
+        _, envelope = client._post(
+            {"v": 2, "cmd": "star", "session_id": "s1",
+             "hypothesis_id": 1, "idem": "tok"})
+        assert envelope == _ENVELOPE
+
+    def test_bare_mutation_fails_fast(self):
+        client, sleeps = _scripted_client([
+            _FakeConn(True), _FakeConn(False, _ENVELOPE),
+        ])
+        with pytest.raises(ConnectionError):
+            client._post({"v": 2, "cmd": "star", "session_id": "s1",
+                          "hypothesis_id": 1})
+        assert sleeps == [0]  # one attempt, no second connection
+
+    def test_retries_are_bounded(self):
+        attempts = 3
+        client, sleeps = _scripted_client(
+            [_FakeConn(True)] * (attempts + 5),
+            retry_attempts=attempts,
+        )
+        with pytest.raises(ConnectionError):
+            client._post({"v": 2, "cmd": "wealth", "session_id": "s1"})
+        assert sleeps == [0, 1, 2]  # exactly `attempts` connections
+
+    def test_retry_attempts_validated(self):
+        with pytest.raises(ValueError):
+            Client("127.0.0.1", 1, retry_attempts=0)
+
+    def test_defaults_exported(self):
+        client = Client("127.0.0.1", 1)
+        assert client.retry_attempts == RETRY_ATTEMPTS >= 2
+        assert client.retry_base_delay == RETRY_BASE_DELAY > 0
+
+
+class TestBackoffShape:
+    def test_first_retry_is_immediate_then_jittered_exponential(
+        self, monkeypatch
+    ):
+        slept: list[float] = []
+        monkeypatch.setattr(client_mod.time, "sleep", slept.append)
+        # Worst-case jitter: uniform(0, bound) -> bound.
+        monkeypatch.setattr(client_mod.random, "uniform", lambda a, b: b)
+        client = Client("127.0.0.1", 1, retry_base_delay=0.25)
+        for attempt in range(5):
+            client._retry_sleep(attempt)
+        # Attempts 0 and 1 are free; then 0.25 * 2^(attempt-2).
+        assert slept == [0.25, 0.5, 1.0]
+
+    def test_jitter_is_drawn_from_the_full_interval(self, monkeypatch):
+        drawn: list[tuple[float, float]] = []
+        monkeypatch.setattr(client_mod.time, "sleep", lambda s: None)
+        monkeypatch.setattr(
+            client_mod.random, "uniform",
+            lambda a, b: drawn.append((a, b)) or 0.0,
+        )
+        client = Client("127.0.0.1", 1, retry_base_delay=0.5)
+        client._retry_sleep(3)
+        assert drawn == [(0, 1.0)]
+
+
+class TestIdempotencyClassification:
+    def test_idem_token_marks_any_command(self):
+        assert _is_idempotent({"cmd": "star", "idem": "t"})
+        assert not _is_idempotent({"cmd": "star"})
+
+    def test_pipeline_needs_every_mutation_stamped(self):
+        stamped = {"cmd": "pipeline", "commands": [
+            {"cmd": "wealth", "session_id": "s"},
+            {"cmd": "star", "session_id": "s", "idem": "t1"},
+        ]}
+        unstamped = {"cmd": "pipeline", "commands": [
+            {"cmd": "wealth", "session_id": "s"},
+            {"cmd": "star", "session_id": "s"},
+        ]}
+        assert _is_idempotent(stamped)
+        assert not _is_idempotent(unstamped)
+
+    def test_empty_or_malformed_pipeline_is_not_idempotent(self):
+        assert not _is_idempotent({"cmd": "pipeline", "commands": []})
+        assert not _is_idempotent({"cmd": "pipeline", "commands": ["x"]})

@@ -1,0 +1,115 @@
+"""The ring is the cluster's placement function: deterministic, minimal
+movement, tolerably balanced.  These properties are what make shard
+moves rare and reconstructible — every one the router *does* perform is
+paired with a durable-store replay, so fewer/reproducible moves is a
+correctness budget, not just a performance one."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import DEFAULT_REPLICAS, HashRing, ring_hash
+
+
+def _keys(n: int = 500) -> list[str]:
+    return [f"r{index:08x}sess" for index in range(n)]
+
+
+class TestRingHash:
+    def test_deterministic_and_64_bit(self):
+        assert ring_hash("w0#3") == ring_hash("w0#3")
+        assert 0 <= ring_hash("anything") < 2 ** 64
+
+    def test_distinct_keys_distinct_points(self):
+        points = {ring_hash(f"w{i}#{j}") for i in range(8) for j in range(64)}
+        assert len(points) == 8 * 64
+
+
+class TestHashRing:
+    def test_empty_ring_owns_nothing(self):
+        assert HashRing().owner("s1") is None
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_placement_is_deterministic_across_instances(self):
+        a, b = HashRing(), HashRing()
+        for ring in (a, b):
+            for node in ("w0", "w1", "w2"):
+                ring.add(node)
+        keys = _keys()
+        assert a.assignment(keys) == b.assignment(keys)
+
+    def test_join_order_is_invisible(self):
+        a, b = HashRing(), HashRing()
+        for node in ("w0", "w1", "w2"):
+            a.add(node)
+        for node in ("w2", "w0", "w1"):
+            b.add(node)
+        keys = _keys()
+        assert a.assignment(keys) == b.assignment(keys)
+
+    def test_removal_moves_only_the_dead_workers_keys(self):
+        ring = HashRing()
+        for node in ("w0", "w1", "w2", "w3"):
+            ring.add(node)
+        keys = _keys()
+        before = ring.assignment(keys)
+        ring.remove("w2")
+        after = ring.assignment(keys)
+        for key in keys:
+            if before[key] != "w2":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "w2"
+
+    def test_rejoin_restores_previous_placement(self):
+        ring = HashRing()
+        for node in ("w0", "w1", "w2"):
+            ring.add(node)
+        keys = _keys()
+        before = ring.assignment(keys)
+        ring.remove("w1")
+        ring.add("w1")
+        assert ring.assignment(keys) == before
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing()
+        ring.add("w0")
+        ring.add("w0")
+        assert len(ring) == 1
+        ring.remove("w0")
+        ring.remove("w0")
+        assert len(ring) == 0
+        assert "w0" not in ring
+
+    def test_every_node_gets_some_keys(self):
+        ring = HashRing(replicas=DEFAULT_REPLICAS)
+        nodes = [f"w{i}" for i in range(4)]
+        for node in nodes:
+            ring.add(node)
+        owners = set(ring.assignment(_keys(2000)).values())
+        assert owners == set(nodes)
+
+    def test_balance_is_within_a_small_factor(self):
+        """With 64 virtual points the per-worker spread over many random
+        session ids stays within a few x of uniform (the ring's job is
+        minimal movement, not perfect balance)."""
+        ring = HashRing()
+        nodes = [f"w{i}" for i in range(4)]
+        for node in nodes:
+            ring.add(node)
+        counts = {node: 0 for node in nodes}
+        for key, owner in ring.assignment(_keys(4000)).items():
+            counts[owner] += 1
+        expected = 4000 / len(nodes)
+        for node, count in counts.items():
+            assert count > expected / 4, (node, counts)
+            assert count < expected * 4, (node, counts)
+
+    def test_nodes_sorted(self):
+        ring = HashRing()
+        for node in ("w2", "w0", "w1"):
+            ring.add(node)
+        assert ring.nodes == ("w0", "w1", "w2")

@@ -168,10 +168,14 @@ def _scale_record(cells: list[dict]) -> dict:
     return {"suite": "scale-sweep", "records": [{"cells": cells}]}
 
 
-def _scale_cell(rows, sessions, workload, transport, gesture_ms) -> dict:
-    return {"rows": rows, "sessions": sessions, "workload": workload,
+def _scale_cell(rows, sessions, workload, transport, gesture_ms,
+                workers=None) -> dict:
+    cell = {"rows": rows, "sessions": sessions, "workload": workload,
             "transport": transport, "mean_gesture_latency_ms": gesture_ms,
             "mean_show_latency_ms": gesture_ms / 3}
+    if workers is not None:
+        cell["workers"] = workers
+    return cell
 
 
 class TestScaleCells:
@@ -195,6 +199,43 @@ class TestScaleCells:
         cell = _scale_cell(10_000, 1, "user-study", "manager", 1.0)
         assert (check_regression.scale_cell_name(cell)
                 == cell_bench_name(10_000, 1, "user-study", "manager"))
+        router = _scale_cell(100_000, 16, "synthetic", "router", 1.0,
+                             workers=4)
+        assert (check_regression.scale_cell_name(router)
+                == cell_bench_name(100_000, 16, "synthetic", "router",
+                                   workers=4)
+                == "scale_100000x16_synthetic_router_w4")
+
+    def test_router_fleet_sizes_are_distinct_benchmarks(self, tmp_path):
+        """workers=1 and workers=4 cells must never collide under one
+        name — their ratio IS the scaling curve the CI gate enforces."""
+        path = tmp_path / "scale.json"
+        path.write_text(json.dumps(_scale_record([
+            _scale_cell(100_000, 16, "synthetic", "router", 4.0, workers=1),
+            _scale_cell(100_000, 16, "synthetic", "router", 1.0, workers=4),
+        ])))
+        means = check_regression.load_means(path)
+        assert means == {
+            "scale_100000x16_synthetic_router_w1": pytest.approx(4.0e-3),
+            "scale_100000x16_synthetic_router_w4": pytest.approx(1.0e-3),
+        }
+
+    def test_scaling_curve_gate_on_worker_cells(self, tmp_path, monkeypatch,
+                                                capsys):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        path = tmp_path / "scale.json"
+        path.write_text(json.dumps(_scale_record([
+            _scale_cell(100_000, 16, "synthetic", "router", 3.0, workers=1),
+            _scale_cell(100_000, 16, "synthetic", "router", 1.0, workers=4),
+        ])))
+        gate = ["--candidate", str(path), "--min-speedup",
+                "scale_100000x16_synthetic_router_w1:"
+                "scale_100000x16_synthetic_router_w4:{}"]
+        assert check_regression.main(
+            [a.format("2.5") for a in gate]) == 0
+        assert check_regression.main(
+            [a.format("3.5") for a in gate]) == 1
+        assert "below the required 3.5x" in capsys.readouterr().out
 
     def test_legacy_cells_without_gesture_metric_are_skipped(self, tmp_path):
         """Pre-transport-axis cells carry only show latency; gating that
@@ -240,5 +281,6 @@ class TestScaleCells:
         """The committed BENCH_scale.json's latest record must expose the
         transport cells the CI gates require."""
         means = check_regression.load_means(REPO_ROOT / "BENCH_scale.json")
-        for transport in ("manager", "service", "pipeline"):
+        for transport in ("manager", "service", "pipeline",
+                          "router_w1", "router_w4"):
             assert f"scale_100000x16_synthetic_{transport}" in means

@@ -10,6 +10,7 @@ import pytest
 from repro.errors import InvalidParameterError
 from repro.service.manager import GestureStep, SessionManager
 from repro.service.sweep import (
+    DEFAULT_TRANSPORTS,
     TRANSPORTS,
     ScaleSweep,
     append_record,
@@ -75,13 +76,15 @@ class TestGestureCompilation:
 
 class TestSweep:
     def test_grid_shape(self, small_cells):
-        # 1 row scale x 2 session counts x 2 workloads x 3 transports
+        # 1 row scale x 2 session counts x 2 workloads x 3 default
+        # (in-process) transports; router cells are opt-in via
+        # workers_grid and boot OS processes.
         assert len(small_cells) == 12
         assert {(c.sessions, c.workload, c.transport) for c in small_cells} == {
             (s, w, t)
             for s in (1, 3)
             for w in ("synthetic", "user-study")
-            for t in TRANSPORTS
+            for t in DEFAULT_TRANSPORTS
         }
 
     def test_cells_measure_latency_and_throughput(self, small_cells):
@@ -201,7 +204,7 @@ class TestTransportEquivalence:
         streams = _synthetic_streams(base, 3, 8, seed=1)
         gestures = [compile_gestures(s) for s in streams]
         results = {
-            t: self._run(t, base, gestures) for t in TRANSPORTS
+            t: self._run(t, base, gestures) for t in DEFAULT_TRANSPORTS
         }
         logs = {t: r[0] for t, r in results.items()}
         assert logs["manager"] == logs["service"] == logs["pipeline"]
@@ -214,7 +217,7 @@ class TestTransportEquivalence:
         gestures = [compile_gestures(s) for s in streams]
         results = {
             t: self._run(t, base, gestures, procedure="gamma-fixed", gamma=3.0)
-            for t in TRANSPORTS
+            for t in DEFAULT_TRANSPORTS
         }
         logs = {t: r[0] for t, r in results.items()}
         assert logs["manager"] == logs["service"] == logs["pipeline"]
@@ -328,7 +331,7 @@ class TestCliEntryPoints:
         payload = json.loads(out.read_text())
         cells = payload["records"][0]["cells"]
         assert {c["workload"] for c in cells} == {"synthetic", "user-study"}
-        assert {c["transport"] for c in cells} == set(TRANSPORTS)
+        assert {c["transport"] for c in cells} == set(DEFAULT_TRANSPORTS)
         for cell in cells:
             assert cell["mean_show_latency_ms"] > 0
             assert cell["throughput_shows_per_s"] > 0
@@ -373,7 +376,7 @@ class TestCliEntryPoints:
             if "--transport" in a.option_strings
         )
         assert tuple(transport.choices) == TRANSPORTS
-        assert tuple(transport.default) == TRANSPORTS
+        assert tuple(transport.default) == DEFAULT_TRANSPORTS
 
     def test_serve_sweep_subcommand(self, capsys):
         from repro.cli import main

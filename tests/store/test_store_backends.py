@@ -338,6 +338,71 @@ class TestJsonlTornTail:
             assert [e["seq"] for e in stored.entries] == [0]
 
 
+_WRITER_SCRIPT = """
+import sys
+from repro.store import make_store
+
+kind, path, sid, n = sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4])
+store = make_store(kind, path)
+store.create(sid, {"session_id": sid, "dataset": "census",
+                   "procedure": "alpha_investing", "alpha": 0.05,
+                   "bins": 10, "procedure_kwargs": {}})
+for seq in range(n):
+    with store.stage(sid, f"{sid}-tok-{seq}") as staged:
+        store.append(sid, {"seq": seq,
+                           "cmd": {"cmd": "show", "attribute": f"a{seq}"},
+                           "records": [{"seq": seq, "sid": sid}]})
+        staged.set_response({"ok": True, "sid": sid, "seq": seq})
+store.close()
+"""
+
+
+class TestTwoProcessWriters:
+    """Two OS processes, one store path, distinct sessions — the cluster
+    invariant.  Sharding guarantees no two workers ever own the same
+    session, but they *do* share the directory (jsonl) or database file
+    (sqlite), so concurrent create/stage/append from separate processes
+    must interleave without corrupting either trail or the idem index."""
+
+    @pytest.mark.parametrize("kind", ["jsonl", "sqlite"])
+    def test_concurrent_writers_distinct_sessions(self, kind, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        path = tmp_path / ("store" if kind == "jsonl" else "store.db")
+        src = os.path.abspath(os.path.join(
+            os.path.dirname(__file__), "..", "..", "src"))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+
+        n_entries = 8
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER_SCRIPT,
+                 kind, str(path), sid, str(n_entries)],
+                env=env, stderr=subprocess.PIPE)
+            for sid in ("sAAAA", "sBBBB")
+        ]
+        for proc in procs:
+            _, err = proc.communicate(timeout=60)
+            assert proc.returncode == 0, err.decode()
+
+        with make_store(kind, path) as store:
+            assert set(store.session_ids()) == {"sAAAA", "sBBBB"}
+            for sid in ("sAAAA", "sBBBB"):
+                stored = store.load(sid)
+                assert stored.wal_seq == n_entries
+                assert [e["seq"] for e in stored.entries] == \
+                    list(range(n_entries))
+                assert all(r["sid"] == sid for r in stored.records())
+                # the idem index covers both writers' tokens
+                for seq in range(n_entries):
+                    assert store.get_idem(f"{sid}-tok-{seq}") == \
+                        {"ok": True, "sid": sid, "seq": seq}
+
+
 class TestOrderEntries:
     def test_sorts_and_truncates_at_gap(self):
         entries = [_entry(2), _entry(0), _entry(1), _entry(4)]
