@@ -136,16 +136,15 @@ def bench_service_show(service: ExplorationService, rounds: int) -> dict:
 
 def bench_http(service: ExplorationService, rounds: int) -> tuple[dict, dict]:
     """(http_show, http_read) stats over a live localhost server."""
-    with ServerThread(service) as server:
-        with Client(port=server.port) as client:
-            sid = client.create_session("census")
-            show_cmd = _representative_show(sid)
+    with ServerThread(service) as server, Client(port=server.port) as client:
+        sid = client.create_session("census")
+        show_cmd = _representative_show(sid)
 
-            show_stats = _measure(lambda: client.call(show_cmd), rounds)
-            read_stats = _measure(
-                lambda: client.call(Wealth(session_id=sid)), rounds
-            )
-            client.close_session(sid)
+        show_stats = _measure(lambda: client.call(show_cmd), rounds)
+        read_stats = _measure(
+            lambda: client.call(Wealth(session_id=sid)), rounds
+        )
+        client.close_session(sid)
     return show_stats, read_stats
 
 
@@ -199,51 +198,51 @@ def bench_http_gestures(
     never silently degrade the measurement into error-path timings.
     """
     results: dict[str, dict] = {}
-    with ServerThread(service) as server:
-        with Client(port=server.port, auto_idem=False) as client:
-            sid = client.create_session("census")
-            show = _gesture_show(sid)
-            star_prev = {"cmd": "star", "session_id": sid,
-                         "hypothesis_id": "$prev"}
+    with ServerThread(service) as server, \
+            Client(port=server.port, auto_idem=False) as client:
+        sid = client.create_session("census")
+        show = _gesture_show(sid)
+        star_prev = {"cmd": "star", "session_id": sid,
+                     "hypothesis_id": "$prev"}
 
-            def sequential() -> None:
-                view = client.call(dict(show, v=1))
-                client.call({"v": 1, "cmd": "star", "session_id": sid,
-                             "hypothesis_id": view["hypothesis"]["id"]})
-                client.call(dict(show, v=1))
+        def sequential() -> None:
+            view = client.call(dict(show, v=1))
+            client.call({"v": 1, "cmd": "star", "session_id": sid,
+                         "hypothesis_id": view["hypothesis"]["id"]})
+            client.call(dict(show, v=1))
 
-            results["http_gesture_sequential"] = _measure(sequential, rounds)
+        results["http_gesture_sequential"] = _measure(sequential, rounds)
 
-            pipeline = {"v": 2, "cmd": "pipeline",
-                        "commands": [show, star_prev, show]}
+        pipeline = {"v": 2, "cmd": "pipeline",
+                    "commands": [show, star_prev, show]}
 
-            def pipelined() -> None:
-                result = client.call(pipeline)
-                if not all(slot["ok"] for slot in result["slots"]):
-                    raise InvalidParameterError(
-                        f"bench pipeline failed: {result['slots']}")
+        def pipelined() -> None:
+            result = client.call(pipeline)
+            if not all(slot["ok"] for slot in result["slots"]):
+                raise InvalidParameterError(
+                    f"bench pipeline failed: {result['slots']}")
 
-            results["http_gesture_pipeline"] = _measure(pipelined, rounds)
+        results["http_gesture_pipeline"] = _measure(pipelined, rounds)
 
-            batch = {"v": 2, "cmd": "pipeline",
-                     "commands": [show, star_prev, show] * _BATCH_GESTURES}
+        batch = {"v": 2, "cmd": "pipeline",
+                 "commands": [show, star_prev, show] * _BATCH_GESTURES}
 
-            def batched() -> None:
-                result = client.call(batch)
-                if not all(slot["ok"] for slot in result["slots"]):
-                    raise InvalidParameterError(
-                        f"bench batch failed: {result['slots']}")
+        def batched() -> None:
+            result = client.call(batch)
+            if not all(slot["ok"] for slot in result["slots"]):
+                raise InvalidParameterError(
+                    f"bench batch failed: {result['slots']}")
 
-            batch_rounds = max(10, rounds // 4)
-            raw = _measure(batched, batch_rounds)
-            # report per gesture so the cell is comparable with the other two
-            results["http_gesture_pipeline_batch16"] = {
-                "mean_s": raw["mean_s"] / _BATCH_GESTURES,
-                "p95_s": raw["p95_s"] / _BATCH_GESTURES,
-                "stddev_s": raw["stddev_s"] / _BATCH_GESTURES,
-                "rounds": raw["rounds"],
-            }
-            client.close_session(sid)
+        batch_rounds = max(10, rounds // 4)
+        raw = _measure(batched, batch_rounds)
+        # report per gesture so the cell is comparable with the other two
+        results["http_gesture_pipeline_batch16"] = {
+            "mean_s": raw["mean_s"] / _BATCH_GESTURES,
+            "p95_s": raw["p95_s"] / _BATCH_GESTURES,
+            "stddev_s": raw["stddev_s"] / _BATCH_GESTURES,
+            "rounds": raw["rounds"],
+        }
+        client.close_session(sid)
     return results
 
 

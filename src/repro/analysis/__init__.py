@@ -1,0 +1,53 @@
+"""reprolint — project-specific static analysis for the repro codebase.
+
+The repo's standing contracts (ROADMAP "Standing invariants") are
+enforced mechanically by two components:
+
+* a static AST pass (:mod:`repro.analysis.core`, rules in
+  :mod:`repro.analysis.rules`) run as ``repro lint`` or
+  ``python -m repro.analysis``, and
+* a runtime lock-discipline detector (:mod:`repro.analysis.runtime`)
+  enabled with ``REPRO_LOCK_CHECK=1`` that instruments every lock in the
+  service tier and fails tests on lock-order inversion or a ``*_locked``
+  helper entered lock-free.
+
+Rule catalog
+------------
+
+==============  =======================================================
+``lock-discipline``  ``LCK001`` call to a ``*_locked`` helper from a
+                     scope not guarded by a ``with <lock>:`` context
+                     (interprocedural within the module);
+                     ``LCK002`` session-state attribute write in
+                     ``service/``/``cluster/`` outside a guarded scope.
+``determinism``      ``DET001`` direct wall-clock / RNG call in a
+                     decision-relevant module (``exploration/``,
+                     ``procedures/``, ``store/``, ``service/manager.py``);
+                     ``DET002`` wall-clock callable bound as a parameter
+                     default — the injectable seam itself, which must
+                     carry a pragma documenting its wire meaning.
+``boundary``         ``EXC001`` broad ``except Exception`` outside a
+                     declared (pragma'd) boundary; ``EXC002`` a
+                     ``ReproError`` raised with a formatted traceback in
+                     its payload.
+``ledger``           ``LED001`` a ``BENCH_*.json`` path opened for
+                     writing outside ``repro/ledger.py``.
+``frozen-array``     ``ARR001`` in-place numpy mutation of a value from
+                     the engine's mask/histogram cache paths;
+                     ``ARR002`` cache insert of a fresh array without
+                     ``setflags(write=False)``; ``ARR003`` any
+                     ``setflags(write=True)``.
+==============  =======================================================
+
+Violations are suppressed by a same-line pragma with a written reason::
+
+    except Exception as exc:  # reprolint: allow(boundary) — wire envelope is the traceback firewall
+
+A pragma without a reason, or one that suppresses nothing, is itself a
+violation (``PRAGMA001`` / ``PRAGMA002``) so suppressions stay minimal
+and documented.
+"""
+
+from repro.analysis.core import LintReport, Violation, run_lint
+
+__all__ = ["LintReport", "Violation", "run_lint"]

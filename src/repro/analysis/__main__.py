@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — run reprolint."""
+
+import sys
+
+from repro.analysis.core import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,7 @@ foreground.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import queue
 import threading
@@ -187,10 +188,8 @@ class ApiHttpServer:
             pass  # client went away mid-request; nothing to answer
         finally:
             writer.close()
-            try:
+            with contextlib.suppress(OSError):  # pragma: no cover - teardown race
                 await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover - teardown race
-                pass
 
     async def _read_request(self, reader, writer):
         """Parse one HTTP/1.1 request; None on clean EOF or fatal framing."""

@@ -55,6 +55,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Mapping
 
+from repro.analysis.runtime import make_lock
 from repro.errors import (
     AdmissionRejectedError,
     InvalidParameterError,
@@ -149,17 +150,17 @@ class ExplorationService:
         self.admission_policy = admission_policy
         self._idem_cache_size = idem_cache_size
         self._idem_cache: OrderedDict[str, Response] = OrderedDict()
-        self._idem_lock = threading.Lock()
+        self._idem_lock = make_lock("service.idem")
         self._idem_replays = 0
         # Gesture-traffic observability: how much of the load arrives
         # batched (the scale sweep's pipeline transport reads these back
         # through the stats verb to sanity-check its own accounting).
         self._pipelines = 0
         self._pipeline_commands = 0
-        self._counter_lock = threading.Lock()
+        self._counter_lock = make_lock("service.counter")
         # create_session admission check + create must be atomic or two
         # racing creates could both pass the cap probe.
-        self._admission_lock = threading.Lock()
+        self._admission_lock = make_lock("service.admission")
         self._handlers: dict[type, Callable[[Any], dict]] = {
             CreateSession: self._create_session,
             RecoverSession: self._recover,
@@ -292,7 +293,7 @@ class ExplorationService:
                 # The commit itself failed: the verb is NOT durable and
                 # must not be acknowledged as if it were.
                 return Response.from_exception(exc, details=_error_details(exc))
-            except Exception as exc:  # noqa: BLE001 - boundary, like _dispatch
+            except Exception as exc:  # noqa: BLE001 - reprolint: allow(boundary) — staged-commit boundary: a failed commit must answer an envelope, never a traceback
                 return Response.from_exception(exc)
             return response
 
@@ -317,7 +318,7 @@ class ExplorationService:
             return Response.success(handler(command))
         except ReproError as exc:
             return Response.from_exception(exc, details=_error_details(exc))
-        except Exception as exc:  # noqa: BLE001 - boundary: no tracebacks on the wire
+        except Exception as exc:  # noqa: BLE001 - reprolint: allow(boundary) — service dispatch boundary: no tracebacks on the wire, INTERNAL envelope instead
             return Response.from_exception(exc)
 
     # -- pipeline execution --------------------------------------------------

@@ -174,6 +174,18 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="SSE keep-alive comment interval on "
                             "/v1/events/{session} (default 15)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the project's invariant linter, over src/",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--rule", action="append", default=None, metavar="NAME",
+                      help="run only this rule (repeatable)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
     return parser
 
 
@@ -432,6 +444,20 @@ def _run_route(args) -> str:
     return "router stopped"
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """Delegate to reprolint; unlike the other commands this has a
+    meaningful non-zero exit code, so it bypasses ``_COMMANDS``."""
+    from repro.analysis.core import main as lint_main
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    for rule in args.rule or ():
+        argv.extend(["--rule", rule])
+    argv.extend(["--format", args.format])
+    return lint_main(argv)
+
+
 _COMMANDS = {
     "exp1a": _run_exp1a,
     "exp1b": _run_exp1b,
@@ -449,6 +475,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "all":
         for name in ("motivating", "holdout", "exp1a", "exp1b", "exp1c", "exp2"):
             sub_args = parser.parse_args(

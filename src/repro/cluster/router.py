@@ -37,6 +37,7 @@ one session: envelopes are forwarded whole to one shard, never split.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import http.client
 import json
@@ -44,6 +45,7 @@ import threading
 import uuid
 from typing import Any, Mapping
 
+from repro.analysis.runtime import make_lock, make_rlock
 from repro.api.client import Client, _is_idempotent
 from repro.api.http import (
     ApiHttpServer,
@@ -208,7 +210,7 @@ class RouterService:
                  store_info: Mapping[str, Any] | None = None) -> None:
         self._ring = HashRing(replicas)
         self._backends: dict[str, Any] = {}
-        self._lock = threading.RLock()
+        self._lock = make_rlock("router.registry")
         self._owner: dict[str, str] = {}
         self._session_locks: dict[str, threading.Lock] = {}
         #: Reported by healthz: the shared persistence config workers run.
@@ -310,7 +312,7 @@ class RouterService:
             lock = self._session_locks.get(session_id)
             if lock is None:
                 lock = self._session_locks.setdefault(
-                    session_id, threading.Lock()
+                    session_id, make_lock("router.session")
                 )
             return lock
 
@@ -369,13 +371,11 @@ class RouterService:
         error (e.g. the session was never made durable) means the
         forwarded command will answer its own, more specific error.
         """
-        try:
+        with contextlib.suppress(*CONNECTION_ERRORS):
             backend.handle_dict({
                 "v": 2, "cmd": "recover",
                 "session_id": session_id, "fresh": True,
             })
-        except CONNECTION_ERRORS:
-            pass
 
     def _forward_any(self, payload: dict, version: int) -> dict:
         """Dataset-level reads: any live worker answers (all share the

@@ -37,6 +37,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.analysis.runtime import make_rlock
 from repro.errors import ReproError
 
 __all__ = ["Worker", "WorkerSupervisor", "BANNER_RE"]
@@ -105,7 +106,7 @@ class WorkerSupervisor:
         self.restart = restart
         self.announce = announce or (lambda line: None)
         self.workers: dict[str, Worker] = {}
-        self._lock = threading.RLock()
+        self._lock = make_rlock("supervisor.registry")
         self._monitor: threading.Thread | None = None
         self._stopping = threading.Event()
         #: Worker ids deliberately killed via :meth:`kill` — the monitor

@@ -32,8 +32,9 @@ class StreamSample:
     support_fractions: np.ndarray
 
     def __post_init__(self) -> None:
-        if not (
-            self.p_values.shape == self.null_mask.shape == self.support_fractions.shape
+        if (
+            self.p_values.shape != self.null_mask.shape
+            or self.null_mask.shape != self.support_fractions.shape
         ):
             raise InvalidParameterError("stream arrays must be aligned")
 

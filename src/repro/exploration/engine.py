@@ -31,6 +31,8 @@ from typing import Callable, Hashable
 
 import numpy as np
 
+from repro.analysis.runtime import make_lock
+
 __all__ = [
     "LRUCache",
     "ThreadSafeLRUCache",
@@ -130,7 +132,7 @@ class ThreadSafeLRUCache(LRUCache):
 
     def __init__(self, maxsize: int) -> None:
         super().__init__(maxsize)
-        self._lock = threading.Lock()
+        self._lock = make_lock("engine.cache")
 
     def get(self, key: Hashable):
         with self._lock:

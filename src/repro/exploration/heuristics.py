@@ -19,6 +19,7 @@ objects; the session layer feeds their p-values to the investing rule.
 
 from __future__ import annotations
 
+import contextlib
 import enum
 from dataclasses import dataclass
 from typing import Mapping, Sequence
@@ -117,13 +118,12 @@ def _find_sibling(
 ) -> Visualization | None:
     """Most recent canvas panel that is a negated sibling of *viz*."""
     if canvas_index is not None:
-        try:
+        # Unhashable predicate payloads raise TypeError: use the scan below.
+        with contextlib.suppress(TypeError):
             complement = viz.predicate.complement()
             if complement.is_trivial():
                 return None  # an unfiltered panel can never be a sibling
             return canvas_index.get((viz.attribute, complement))
-        except TypeError:
-            pass  # unhashable predicate payload: use the scan below
     for other in reversed(list(canvas)):
         other = other.normalized()
         if viz.is_negated_sibling(other):

@@ -12,6 +12,7 @@ import enum
 import math
 from dataclasses import dataclass, replace
 
+from repro.errors import ReproError
 from repro.procedures.base import Decision
 from repro.stats.effect_size import EffectMagnitude, classify_cohen_d, classify_cohen_w
 from repro.stats.power import extra_data_to_accept, extra_data_to_reject
@@ -101,8 +102,8 @@ class TrackedHypothesis:
             if self.decision.rejected:
                 return extra_data_to_accept(self.result, level)
             return extra_data_to_reject(self.result, level)
-        except Exception:
-            return math.nan
+        except (ReproError, ValueError, ZeroDivisionError, OverflowError):
+            return math.nan  # n_H1 is advisory; undefined families report NaN
 
     def with_status(
         self, status: HypothesisStatus, superseded_by: int | None = None

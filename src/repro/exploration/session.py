@@ -251,7 +251,7 @@ class ExplorationSession:
         The escape hatch for hypotheses AWARE's heuristics cannot express;
         the result still consumes α-wealth like any other.
         """
-        hyp = self._record(
+        return self._record(
             result,
             kind="explicit",
             null_description=null_description,
@@ -259,7 +259,6 @@ class ExplorationSession:
             context=(Visualization("<external>"), None),
             support_fraction=support_fraction,
         )
-        return hyp
 
     # -- user revisions -------------------------------------------------------
 

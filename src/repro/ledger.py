@@ -12,6 +12,7 @@ attribution block and of the append-only record format, so the writers
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import platform
@@ -32,7 +33,7 @@ def run_metadata() -> dict:
     ``GITHUB_SHA`` keeps the record attributable.
     """
     sha = "unknown"
-    try:
+    with contextlib.suppress(OSError, subprocess.CalledProcessError):
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
             capture_output=True,
@@ -41,8 +42,6 @@ def run_metadata() -> dict:
             cwd=Path(__file__).resolve().parent,
         )
         sha = out.stdout.strip() or "unknown"
-    except (OSError, subprocess.CalledProcessError):
-        pass
     if sha == "unknown":
         sha = os.environ.get("GITHUB_SHA", "unknown")
     return {

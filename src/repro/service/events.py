@@ -28,6 +28,8 @@ import queue
 import threading
 from typing import Any, Iterator, Mapping
 
+from repro.analysis.runtime import make_lock
+
 __all__ = ["Subscription", "EventBroker", "END_EVENT_TYPE"]
 
 #: ``event["type"]`` of the terminal event a closing session publishes.
@@ -55,7 +57,7 @@ class Subscription:
         # Guards the _closed transition: a consumer-side close() racing
         # the broker's close_session() must produce exactly one terminal
         # event, whichever thread wins the flip.
-        self._close_lock = threading.Lock()
+        self._close_lock = make_lock("events.subscription")
 
     def _offer(self, event: Mapping[str, Any]) -> None:
         try:
@@ -145,7 +147,7 @@ class EventBroker:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("events.broker")
         self._subscribers: dict[str, list[Subscription]] = {}
         self.published = 0
 

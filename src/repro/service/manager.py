@@ -78,6 +78,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
+from repro.analysis.runtime import locked_helper, make_lock, make_rlock
 from repro.errors import (
     InvalidParameterError,
     RecoveryError,
@@ -286,7 +287,7 @@ class _ManagedSession:
         self.session = session
         # RLock: a caller holding the session via dispatch may re-enter
         # through the public show() path.
-        self.lock = threading.RLock()
+        self.lock = make_rlock("manager.session")
         self.log: list[DecisionRecord] = []
         self.shows = 0
         self.total_latency_s = 0.0
@@ -344,7 +345,8 @@ class SessionManager:
         max_workers: int | None = None,
         idle_timeout: float | None = None,
         tombstone_limit: int = DEFAULT_TOMBSTONE_LIMIT,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = time.monotonic,  # reprolint: allow(determinism) — monotonic seam: feeds last_active / idle_s / evicted_at_monotonic; tests pin it
+        epoch: Callable[[], float] = time.time,  # reprolint: allow(determinism) — wall-clock seam: feeds evicted_at's unix-epoch wire meaning; tests pin it
         store: "SessionStore | None" = None,
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
     ) -> None:
@@ -360,6 +362,7 @@ class SessionManager:
         self._idle_timeout = idle_timeout
         self._tombstone_limit = tombstone_limit
         self._clock = clock
+        self._epoch = epoch
         self._store = store
         self._snapshot_every = snapshot_every
         self._replaying = threading.local()
@@ -367,7 +370,7 @@ class SessionManager:
         self._sessions: dict[str, _ManagedSession] = {}
         self._tombstones: OrderedDict[str, dict] = OrderedDict()
         self._evictions = {"idle": 0, "capacity": 0}
-        self._registry_lock = threading.Lock()
+        self._registry_lock = make_lock("manager.registry")
         self._next_session = 1
         #: Server-push channel; the wire layer exposes it as an SSE route.
         self.events = EventBroker()
@@ -554,8 +557,8 @@ class SessionManager:
             try:
                 if managed.session.is_exhausted:
                     candidates.append((managed.last_active, sid))
-            except Exception:  # noqa: BLE001 - a broken candidate is skipped
-                continue
+            except (ReproError, AttributeError, TypeError):
+                continue  # a broken candidate is skipped, not reclaimed
         for _, sid in sorted(candidates):
             if self._evict_session(sid, reason="capacity"):
                 return sid
@@ -594,7 +597,7 @@ class SessionManager:
                 "session_id": session_id,
                 "dataset": managed.dataset_name,
                 "reason": reason,
-                "evicted_at": time.time(),
+                "evicted_at": self._epoch(),
                 "evicted_at_monotonic": now,
                 "idle_s": idle_s,
                 "shows": managed.shows,
@@ -765,6 +768,7 @@ class SessionManager:
             return self._summary_locked(managed)
 
     @staticmethod
+    @locked_helper
     def _summary_locked(managed: _ManagedSession) -> dict:
         session = managed.session
         procedure = session.procedure
@@ -897,7 +901,7 @@ class SessionManager:
                     managed, req.attribute, req.where, req.bins, req.descriptive
                 )
             return ShowResponse(req, index, result, None, time.perf_counter() - start)
-        except Exception as exc:  # noqa: BLE001 - a batch survives bad requests
+        except Exception as exc:  # noqa: BLE001 - reprolint: allow(boundary) — batch-slot boundary: one bad request must not abort the batch
             return ShowResponse(
                 req, index, None, f"{type(exc).__name__}: {exc}",
                 time.perf_counter() - start,
@@ -954,7 +958,7 @@ class SessionManager:
                     hyp_id = self._execute_gesture_step(
                         session_id, step, prev_hypothesis, reject_exhausted
                     )
-                except Exception as exc:  # noqa: BLE001 - slot, not crash
+                except Exception as exc:  # noqa: BLE001 - reprolint: allow(boundary) — gesture-slot boundary: a failed step is a result, not a crash
                     results.append(GestureStepResult(
                         step, ok=False, error=f"{type(exc).__name__}: {exc}",
                         executed=True, hypothesis_id=None,
@@ -1008,6 +1012,7 @@ class SessionManager:
         verb = self.star if step.verb == "star" else self.unstar
         return verb(session_id, int(hyp_id)).hypothesis_id
 
+    @locked_helper
     def _show_locked(
         self,
         managed: _ManagedSession,
@@ -1238,8 +1243,9 @@ class SessionManager:
             except Exception:
                 self._forget_session(session_id)
                 raise
-        managed.wal_seq = stored.wal_seq
-        managed.entries_since_snapshot = len(stored.entries)
+        with managed.lock:
+            managed.wal_seq = stored.wal_seq
+            managed.entries_since_snapshot = len(stored.entries)
         with self._registry_lock:
             self._tombstones.pop(session_id, None)
         self._store.clear_tombstone(session_id)
@@ -1402,7 +1408,7 @@ class SessionManager:
                     dict(tomb),
                 )
             raise SessionError(f"no session {session_id!r}")
-        managed.last_active = self._clock()
+        managed.last_active = self._clock()  # reprolint: allow(lock-discipline) — benign race: GIL-atomic float store; worst case the idle sweep reads a one-verb-stale stamp and eviction stays recoverable
         return managed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -61,6 +61,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping
 
+from repro.analysis.runtime import make_lock
 from repro.errors import StoreError
 
 __all__ = [
@@ -168,7 +169,7 @@ class SessionStore(ABC):
 
     def __init__(self) -> None:
         self._idem_index: dict[str, dict] = {}
-        self._idem_index_lock = threading.Lock()
+        self._idem_index_lock = make_lock("store.idem-index")
         self._stage_local = threading.local()
 
     # -- staged (atomic entry + response) commits ----------------------------

@@ -29,6 +29,7 @@ import threading
 from pathlib import Path
 from typing import IO, Any, Mapping
 
+from repro.analysis.runtime import make_rlock
 from repro.errors import StoreError
 
 from .base import SessionStore, StoredSession, order_entries
@@ -86,7 +87,7 @@ class JsonlSessionStore(SessionStore):
         self._sessions_dir.mkdir(parents=True, exist_ok=True)
         self._fsync = fsync
         self.fsync = fsync
-        self._lock = threading.RLock()
+        self._lock = make_rlock("store.jsonl")
         # sid -> (open segment handle, entries since last fsync)
         self._segments: dict[str, IO[str]] = {}
         self._unsynced: dict[str, int] = {}
@@ -169,7 +170,7 @@ class JsonlSessionStore(SessionStore):
                     snapshot = _read_document(sid_dir / _SNAPSHOT)
                     start = int(snapshot["applied"]) if snapshot else 0
                     path = sid_dir / f"{_WAL_PREFIX}{start:08d}{_WAL_SUFFIX}"
-                handle = open(path, "a", encoding="utf-8")
+                handle = open(path, "a", encoding="utf-8")  # noqa: SIM115 - long-lived append handle, closed by close()/stop
                 self._segments[session_id] = handle
                 self._unsynced[session_id] = 0
             handle.write(json.dumps(entry, sort_keys=True) + "\n")

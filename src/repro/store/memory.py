@@ -13,6 +13,7 @@ import json
 import threading
 from typing import Any, Mapping
 
+from repro.analysis.runtime import make_rlock
 from repro.errors import StoreError
 
 from .base import SessionStore, StoredSession, order_entries
@@ -32,7 +33,7 @@ class MemorySessionStore(SessionStore):
 
     def __init__(self) -> None:
         super().__init__()
-        self._lock = threading.RLock()
+        self._lock = make_rlock("store.memory")
         self._meta: dict[str, dict] = {}
         self._entries: dict[str, list[dict]] = {}
         self._snapshots: dict[str, dict] = {}

@@ -25,6 +25,7 @@ import sqlite3
 import threading
 from typing import Any, Mapping
 
+from repro.analysis.runtime import make_rlock
 from repro.errors import StoreError
 
 from .base import SessionStore, StoredSession, order_entries
@@ -72,7 +73,7 @@ class SqliteSessionStore(SessionStore):
         parent = os.path.dirname(self._path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        self._lock = threading.RLock()
+        self._lock = make_rlock("store.sqlite")
         self._conn = sqlite3.connect(self._path, check_same_thread=False)
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute(f"PRAGMA synchronous={_SYNCHRONOUS[fsync]}")

@@ -1,0 +1,41 @@
+"""Seeded boundary violations (EXC001 / EXC002)."""
+
+import traceback
+
+
+class SomeError(Exception):
+    pass
+
+
+def risky():
+    return 1
+
+
+def rollback():
+    return None
+
+
+def swallow():
+    try:
+        return risky()
+    except Exception:  # seed: EXC001
+        return None
+
+
+def swallow_bare():
+    try:
+        return risky()
+    except:  # seed: EXC001
+        return None
+
+
+def cleanup_reraise():
+    try:
+        return risky()
+    except Exception:
+        rollback()
+        raise  # bare re-raise: cleanup handlers are exempt
+
+
+def leak():
+    raise SomeError("failed", traceback.format_exc())  # seed: EXC002

@@ -1,0 +1,25 @@
+"""Seeded ledger violations (LED001)."""
+
+import json
+from pathlib import Path
+
+
+def rewrite(records):
+    path = Path("BENCH_scale.json")
+    with open(path, "w", encoding="utf-8") as fh:  # seed: LED001
+        json.dump(records, fh)
+
+
+def sneaky(records):
+    target = Path("results") / "BENCH_api.json"
+    target.write_text(json.dumps(records))  # seed: LED001
+
+
+def fine_other_file(records):
+    with open("notes.json", "w", encoding="utf-8") as fh:
+        json.dump(records, fh)
+
+
+def fine_read():
+    with open("BENCH_scale.json", encoding="utf-8") as fh:
+        return fh.read()

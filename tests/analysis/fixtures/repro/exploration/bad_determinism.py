@@ -1,0 +1,33 @@
+"""Seeded determinism violations (DET001 / DET002)."""
+
+import random
+import time
+from datetime import datetime
+from random import shuffle
+
+import numpy as np
+
+
+def stamp():
+    return time.time()  # seed: DET001
+
+
+def when():
+    return datetime.now()  # seed: DET001
+
+
+def noise():
+    return random.random()  # seed: DET001
+
+
+def np_noise():
+    rng = np.random.default_rng()  # seed: DET001
+    return rng
+
+
+def reorder(xs):
+    shuffle(xs)  # seed: DET001
+
+
+def seam(clock=time.time):  # seed: DET002
+    return clock()

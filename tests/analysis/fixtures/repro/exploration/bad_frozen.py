@@ -1,0 +1,37 @@
+"""Seeded frozen-array violations (ARR001 / ARR002 / ARR003)."""
+
+import numpy as np
+
+from repro.exploration.engine import cached_mask
+
+
+def mutate(dataset, predicate):
+    mask = cached_mask(dataset, predicate)
+    mask[0] = True  # seed: ARR001
+    return mask
+
+
+def augment(dataset, predicate):
+    mask = cached_mask(dataset, predicate)
+    mask += 1  # seed: ARR001
+    return mask
+
+
+def sort_cached(cache, key):
+    values = cache.get(key)
+    values.sort()  # seed: ARR001
+    return values
+
+
+def unfrozen_insert(cache, key, xs):
+    fresh = np.asarray(xs)
+    cache.put(key, fresh)  # seed: ARR002
+    return fresh
+
+
+def direct_insert(cache, key, xs):
+    cache.put(key, np.asarray(xs))  # seed: ARR002
+
+
+def thaw(arr):
+    arr.setflags(write=True)  # seed: ARR003

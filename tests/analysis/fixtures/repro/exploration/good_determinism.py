@@ -1,0 +1,13 @@
+"""Determinism-clean patterns: injected clocks and generators."""
+
+
+def stamp(clock):
+    return clock()
+
+
+def draw(rng):
+    return rng.normal()
+
+
+def annotate(gen: "np.random.Generator") -> float:  # reference, not a call
+    return gen.random()

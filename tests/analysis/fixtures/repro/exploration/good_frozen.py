@@ -1,0 +1,17 @@
+"""Frozen-array-clean patterns: freeze before insert, copy before mutate."""
+
+import numpy as np
+
+
+def frozen_insert(cache, key, xs):
+    fresh = np.asarray(xs)
+    fresh.setflags(write=False)
+    cache.put(key, fresh)
+    return fresh
+
+
+def copy_then_mutate(cache, key):
+    values = cache.get(key)
+    out = values.copy()
+    out.sort()
+    return out

@@ -1,0 +1,28 @@
+"""Seeded lock-discipline violations (LCK001 / LCK002)."""
+
+import threading
+
+
+def _free_locked(x):
+    return x
+
+
+_free_locked(1)  # seed: LCK001
+
+
+class Manager:
+    def __init__(self):
+        self.lock = threading.RLock()
+        self.shows = 0  # constructor wiring: __init__ is exempt
+
+    def _show_locked(self, managed):
+        return managed
+
+    def unguarded_call(self, managed):
+        return self._show_locked(managed)  # seed: LCK001
+
+    def unguarded_write(self, managed):
+        managed.last_active = 1.0  # seed: LCK002
+
+    def unguarded_augment(self, managed):
+        managed.shows += 1  # seed: LCK002

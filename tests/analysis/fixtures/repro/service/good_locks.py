@@ -1,0 +1,36 @@
+"""Lock-discipline patterns that must NOT fire: direct guards, the
+interprocedural fixed point, and __init__ constructor writes."""
+
+import threading
+
+
+class Manager:
+    def __init__(self):
+        self.lock = threading.RLock()
+        self.shows = 0
+
+    def _show_locked(self, managed):
+        managed.shows += 1
+        return self._summary_locked(managed)
+
+    def _summary_locked(self, managed):
+        return managed
+
+    def guarded(self, managed):
+        with self.lock:
+            managed.wal_seq = 3
+            return self._show_locked(managed)
+
+    def _helper(self, managed):
+        # Both intramodule callers hold the lock at the call site, so the
+        # fixed point marks this whole function lock-guarded.
+        managed.entries_since_snapshot = 0
+        return self._show_locked(managed)
+
+    def caller_a(self, managed):
+        with self.lock:
+            return self._helper(managed)
+
+    def caller_b(self, managed):
+        with managed.lock:
+            return self._helper(managed)

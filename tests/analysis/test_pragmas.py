@@ -1,0 +1,114 @@
+"""Pragma grammar, suppression semantics, and pragma self-linting."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import parse_pragmas, run_lint
+from repro.analysis.rules import BoundaryRule
+
+VIOLATION = (
+    "def f():\n"
+    "    try:\n"
+    "        return 1\n"
+    "    except Exception:{comment}\n"
+    "        return None\n"
+)
+
+
+def _lint(tmp_path: Path, source: str, **kwargs):
+    path = tmp_path / "sample.py"
+    path.write_text(source)
+    return run_lint([path], **kwargs)
+
+
+def codes(report) -> list[str]:
+    return [v.code for v in report.violations]
+
+
+def test_unpragmad_violation_fires(tmp_path):
+    assert codes(_lint(tmp_path, VIOLATION.format(comment=""))) == ["EXC001"]
+
+
+@pytest.mark.parametrize("comment", [
+    "  # reprolint: allow(boundary) — declared test boundary",
+    "  # reprolint: allow(boundary) - declared test boundary",
+    "  # reprolint: allow(boundary): declared test boundary",
+    "  # reprolint: allow(EXC001) — suppression by specific code",
+    "  # reprolint: allow(boundary, determinism) — multiple rules",
+    "  # noqa: BLE001 - reprolint: allow(boundary) — shares a noqa comment",
+])
+def test_pragma_suppresses_same_line(tmp_path, comment):
+    report = _lint(tmp_path, VIOLATION.format(comment=comment))
+    # The multi-rule variant leaves `determinism` unused → PRAGMA002;
+    # single-rule pragmas must lint completely clean.
+    assert "EXC001" not in codes(report)
+    if "determinism" not in comment:
+        assert report.clean, report.render_text()
+
+
+def test_pragma_without_reason_is_flagged(tmp_path):
+    report = _lint(
+        tmp_path, VIOLATION.format(comment="  # reprolint: allow(boundary)")
+    )
+    assert codes(report) == ["PRAGMA001"]
+
+
+def test_unused_pragma_is_flagged(tmp_path):
+    report = _lint(
+        tmp_path,
+        "X = 1  # reprolint: allow(boundary) — suppresses nothing here\n",
+    )
+    assert codes(report) == ["PRAGMA002"]
+
+
+def test_unknown_rule_name_is_flagged(tmp_path):
+    report = _lint(
+        tmp_path,
+        "X = 1  # reprolint: allow(no-such-rule) — typo'd rule name\n",
+    )
+    assert codes(report) == ["PRAGMA003"]
+
+
+def test_pragma_on_other_line_does_not_suppress(tmp_path):
+    source = (
+        "# reprolint: allow(boundary) — wrong line, must not apply below\n"
+        + VIOLATION.format(comment="")
+    )
+    report = _lint(tmp_path, source)
+    assert "EXC001" in codes(report)
+    assert "PRAGMA002" in codes(report)
+
+
+def test_rule_subset_runs_skip_pragma_checks(tmp_path):
+    """A pragma for a rule that did not run is not 'unused'."""
+    source = VIOLATION.format(
+        comment="  # reprolint: allow(boundary) — declared test boundary"
+    )
+    report = _lint(tmp_path, source, rules=[BoundaryRule()])
+    assert report.clean
+
+
+def test_parse_pragmas_grammar():
+    pragmas = parse_pragmas(
+        "x = 1  # reprolint: allow(ledger, EXC001) — two targets\n"
+        "y = 2  # ordinary comment\n"
+    )
+    assert len(pragmas) == 1
+    assert pragmas[0].line == 1
+    assert pragmas[0].rules == ("ledger", "EXC001")
+    assert pragmas[0].reason == "two targets"
+
+
+def test_every_src_pragma_carries_a_reason():
+    """Acceptance criterion: all pragmas in src/ have written rationales
+    (PRAGMA001 would also fail the repo-clean gate, but assert directly)."""
+    src = Path(__file__).resolve().parents[2] / "src"
+    found = 0
+    for path in src.rglob("*.py"):
+        for pragma in parse_pragmas(path.read_text()):
+            found += 1
+            assert pragma.reason, f"{path}:{pragma.line} pragma without rationale"
+    assert found >= 4  # the documented seams + declared boundaries exist

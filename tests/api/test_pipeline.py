@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.api import Client, ExplorationService, ServerThread
+from repro.api import ApiError, Client, ExplorationService, ServerThread
 from repro.api.protocol import (
     MAX_PIPELINE_COMMANDS,
     PREV,
@@ -394,7 +394,7 @@ class TestClientBuilder:
         assert not result.ok
         assert result.error(0).code == "SCHEMA"
         assert result.error(1).code == "NOT_EXECUTED"
-        with pytest.raises(Exception, match="SCHEMA"):
+        with pytest.raises(ApiError, match="SCHEMA"):
             result.raise_for_error()
 
     def test_builder_stamps_idem_tokens(self, http_client):

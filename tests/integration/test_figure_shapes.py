@@ -45,9 +45,9 @@ class TestFigure3Shapes:
 
     def test_bonferroni_lowest_fdr_and_discoveries(self, fig3):
         for m in (16, 64):
-            cell = lambda proc, metric: getattr(  # noqa: E731
-                fig3.get("75% Null", m, proc), metric
-            )
+            def cell(proc, metric, m=m):
+                return getattr(fig3.get("75% Null", m, proc), metric)
+
             assert cell("bonferroni", "avg_fdr") <= cell("pcer", "avg_fdr")
             assert cell("bonferroni", "avg_discoveries") <= cell("bhfdr", "avg_discoveries")
 

@@ -79,9 +79,8 @@ def traffic(draw):
 def http_client():
     service = ExplorationService(max_sessions=None)
     service.register_dataset(_DATASET, name="d")
-    with ServerThread(service) as server:
-        with Client(port=server.port) as client:
-            yield client
+    with ServerThread(service) as server, Client(port=server.port) as client:
+        yield client
 
 
 class TestHttpEquivalence:

@@ -168,10 +168,9 @@ class TestWealthAwareAdmission:
         raise AssertionError("failed to exhaust the session")
 
     def _create(self, service, **kwargs):
-        resp = service.handle_dict(
+        return service.handle_dict(
             {"v": 2, "cmd": "create_session", "dataset": "census", **kwargs}
         )
-        return resp
 
     def test_at_cap_reclaims_exhausted_session(self, census):
         svc = ExplorationService(max_sessions=2,

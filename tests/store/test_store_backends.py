@@ -160,17 +160,15 @@ class TestStagedCommits:
 
     def test_stage_rejects_second_append(self, store):
         store.create("s0001", META)
-        with pytest.raises(StoreError):
-            with store.stage("s0001", None):
-                store.append("s0001", _entry(0))
-                store.append("s0001", _entry(1))
+        with pytest.raises(StoreError), store.stage("s0001", None):
+            store.append("s0001", _entry(0))
+            store.append("s0001", _entry(1))
 
     def test_nested_stage_rejected(self, store):
         store.create("s0001", META)
-        with pytest.raises(StoreError):
+        with pytest.raises(StoreError), store.stage("s0001", None):
             with store.stage("s0001", None):
-                with store.stage("s0001", None):
-                    pass  # pragma: no cover - never reached
+                pass  # pragma: no cover - never reached
 
     def test_defer_after_commit_runs_after_the_staged_write(self, store):
         store.create("s0001", META)
