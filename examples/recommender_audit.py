@@ -59,7 +59,7 @@ def uncontrolled_sweep(dataset, alpha=0.05):
         proposal = propose_hypothesis(viz)
         try:
             result = evaluate_proposal(proposal, dataset)
-        except Exception:
+        except Exception:  # reprolint: allow(boundary) — demo sweep skips unevaluable panels
             continue
         tested += 1
         if result.p_value <= alpha:
@@ -80,7 +80,7 @@ def aware_sweep(dataset, alpha=0.05):
     for viz in candidate_panels(dataset):
         try:
             session.show(viz)
-        except Exception:
+        except Exception:  # reprolint: allow(boundary) — demo sweep skips unevaluable panels
             continue
     return session
 

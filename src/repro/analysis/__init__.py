@@ -9,7 +9,16 @@ enforced mechanically by two components:
 * a runtime lock-discipline detector (:mod:`repro.analysis.runtime`)
   enabled with ``REPRO_LOCK_CHECK=1`` that instruments every lock in the
   service tier and fails tests on lock-order inversion or a ``*_locked``
-  helper entered lock-free.
+  helper entered lock-free, and
+* a whole-program pass (:mod:`repro.analysis.whole_program`, call graph
+  in :mod:`repro.analysis.callgraph`, wire model in
+  :mod:`repro.analysis.protocol_model`) run as ``repro lint
+  --whole-program``: protocol conformance (``WIRE001``–``WIRE006``,
+  drift-gated against the committed ``protocol_model.json`` via
+  ``repro protocol dump --check``), cross-module determinism taint
+  (``DET101``–``DET103``), and static↔runtime lock-graph
+  cross-validation (``LCK101``, via ``REPRO_LOCK_CHECK_DUMP`` and
+  ``repro lint --check-lock-dump``).
 
 Rule catalog
 ------------
@@ -49,5 +58,6 @@ and documented.
 """
 
 from repro.analysis.core import LintReport, Violation, run_lint
+from repro.analysis.whole_program import run_whole_program
 
-__all__ = ["LintReport", "Violation", "run_lint"]
+__all__ = ["LintReport", "Violation", "run_lint", "run_whole_program"]

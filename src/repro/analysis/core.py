@@ -159,6 +159,66 @@ class LintReport:
             indent=2,
         )
 
+    def render_sarif(self) -> str:
+        """SARIF 2.1.0, the format GitHub code scanning ingests."""
+        catalog = rule_catalog()
+        try:
+            from repro.analysis.whole_program import WHOLE_PROGRAM_RULES
+
+            catalog = {**catalog, **WHOLE_PROGRAM_RULES}
+        except ImportError:  # pragma: no cover - whole_program always ships
+            pass
+        descriptions = {
+            code: text for codes in catalog.values() for code, text in codes.items()
+        }
+        seen_codes = sorted({v.code for v in self.violations})
+        sarif_rules = [
+            {
+                "id": code,
+                "shortDescription": {
+                    "text": descriptions.get(code, code),
+                },
+            }
+            for code in seen_codes
+        ]
+        results = [
+            {
+                "ruleId": v.code,
+                "level": "error",
+                "message": {"text": f"[{v.rule}] {v.message}"},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": v.path},
+                            "region": {
+                                "startLine": max(v.line, 1),
+                                "startColumn": v.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+            for v in self.violations
+        ]
+        return json.dumps(
+            {
+                "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+                "version": "2.1.0",
+                "runs": [
+                    {
+                        "tool": {
+                            "driver": {
+                                "name": "reprolint",
+                                "rules": sarif_rules,
+                            }
+                        },
+                        "results": results,
+                    }
+                ],
+            },
+            indent=2,
+        )
+
 
 def all_rules() -> list[Rule]:
     """The full rule set (imported lazily to avoid an import cycle)."""
@@ -169,6 +229,22 @@ def all_rules() -> list[Rule]:
 
 def rule_catalog() -> dict[str, dict[str, str]]:
     return {rule.name: dict(rule.codes) for rule in all_rules()}
+
+
+def _whole_program_known() -> set[str]:
+    """Rule names and codes of the whole-program pass.
+
+    Pragmas may name these even in a per-file run (the suppressed finding
+    comes from ``--whole-program``), so they are *known* to PRAGMA003 and
+    exempt from PRAGMA002's unused check when that pass did not run.
+    """
+    from repro.analysis.whole_program import WHOLE_PROGRAM_RULES
+
+    known: set[str] = set()
+    for name, codes in WHOLE_PROGRAM_RULES.items():
+        known.add(name)
+        known.update(codes)
+    return known
 
 
 def iter_python_files(paths: Sequence[Path]) -> list[Path]:
@@ -202,6 +278,8 @@ def lint_file(path: Path, rules: Sequence[Rule], *, check_pragmas: bool = True) 
     known = {rule.name for rule in rules}
     for rule in rules:
         known.update(rule.codes)
+    whole_program = _whole_program_known()
+    known |= whole_program
 
     kept: list[Violation] = []
     for violation in raw:
@@ -236,7 +314,12 @@ def lint_file(path: Path, rules: Sequence[Rule], *, check_pragmas: bool = True) 
                             f"pragma names unknown rule(s): {', '.join(unknown)}",
                         )
                     )
-                elif not pragma.used:
+                elif not pragma.used and not any(
+                    r in whole_program for r in pragma.rules
+                ):
+                    # Whole-program findings are suppressed by the
+                    # --whole-program pass itself; a per-file run cannot
+                    # judge those pragmas unused.
                     kept.append(
                         ctx.violation(
                             pragma.line,
@@ -270,6 +353,35 @@ def run_lint(
     return report
 
 
+def suppress_by_pragma(violations: Iterable[Violation]) -> list[Violation]:
+    """Filter whole-program findings through per-line pragmas.
+
+    Whole-program violations are produced outside :func:`lint_file`, so
+    the pragma suppression pass there never sees them; this applies the
+    same grammar (same line, rule name or code) after the fact.
+    """
+    by_path: dict[str, list[Violation]] = {}
+    for violation in violations:
+        by_path.setdefault(violation.path, []).append(violation)
+    kept: list[Violation] = []
+    for path, batch in by_path.items():
+        try:
+            pragmas = parse_pragmas(Path(path).read_text(encoding="utf-8"))
+        except OSError:
+            kept.extend(batch)
+            continue
+        by_line: dict[int, list[Pragma]] = {}
+        for pragma in pragmas:
+            by_line.setdefault(pragma.line, []).append(pragma)
+        for violation in batch:
+            if not any(
+                violation.rule in p.rules or violation.code in p.rules
+                for p in by_line.get(violation.line, [])
+            ):
+                kept.append(violation)
+    return kept
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
@@ -279,13 +391,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="files or directories to lint (default: src)")
     parser.add_argument("--rule", action="append", default=None, metavar="NAME",
                         help="run only this rule (repeatable)")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--whole-program", action="store_true",
+                        help="also run the cross-module conformance pass"
+                             " (WIRE/DET1xx) over the paths as one project")
+    parser.add_argument("--check-lock-dump", metavar="PATH", default=None,
+                        help="cross-validate a REPRO_LOCK_CHECK_DUMP file"
+                             " against the static lock-order graph")
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for name, codes in rule_catalog().items():
+        from repro.analysis.whole_program import WHOLE_PROGRAM_RULES
+
+        for name, codes in {**rule_catalog(), **WHOLE_PROGRAM_RULES}.items():
             print(name)
             for code, description in codes.items():
                 print(f"  {code}  {description}")
@@ -300,5 +420,27 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(f"unknown rule(s): {', '.join(sorted(missing))}")
 
     report = run_lint(args.paths, rules=selected)
-    print(report.render_json() if args.format == "json" else report.render_text())
+
+    if args.whole_program:
+        from repro.analysis.whole_program import run_whole_program
+
+        report.violations.extend(suppress_by_pragma(run_whole_program(args.paths)))
+
+    if args.check_lock_dump:
+        from repro.analysis.callgraph import Project
+        from repro.analysis.whole_program import validate_lock_dump
+
+        project = Project.from_paths(args.paths)
+        lock_violations, warnings = validate_lock_dump(project, args.check_lock_dump)
+        report.violations.extend(lock_violations)
+        for warning in warnings:
+            print(f"note: {warning}", file=sys.stderr)
+
+    report.violations.sort()
+    if args.format == "sarif":
+        print(report.render_sarif())
+    elif args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
     return 0 if report.clean else 1

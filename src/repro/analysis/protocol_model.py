@@ -1,0 +1,477 @@
+"""AST-extracted protocol model + the WIRE0xx conformance rules.
+
+The wire layer's contract is spread across five modules: the verbs and
+their schemas live in ``api/protocol.py``, dispatch in ``api/service.py``,
+the client wrappers in ``api/client.py``, routing in ``cluster/router.py``
+and the HTTP status mapping in ``api/http.py``.  Nothing in Python keeps
+them in agreement — a verb added to ``COMMANDS`` but not to the service's
+handler table answers ``PROTOCOL: not dispatchable`` at runtime, which is
+a conformance bug the type checker cannot see.  This module extracts one
+machine-readable **protocol model** from the AST and asserts pairwise
+agreement:
+
+========  ==================================================================
+WIRE001   verb in ``COMMANDS`` is not dispatched by ``api/service.py``
+WIRE002   verb is never constructed by ``api/client.py`` (no client wrapper)
+WIRE003   session-less / optional-session verb is not explicitly
+          intercepted by ``cluster/router.py`` (the generic forward path
+          routes on ``session_id`` and cannot place it)
+WIRE004   exception class in ``errors.py`` missing from ``ERROR_CODES``
+          (it would go on the wire as its nearest ancestor's code — or as
+          ``REPRO_ERROR`` — silently)
+WIRE005   ``STATUS_FOR_CODE`` key is not a known error code (stale after
+          a rename; the intended status silently stops applying)
+WIRE006   ``V2_ONLY_VERBS`` declaration and the parser's ``version < 2``
+          guards disagree (a v2-only verb reachable from v1, or a guard
+          nobody declared)
+========  ==================================================================
+
+Checks whose subject module is absent from the project are skipped, so
+fixture mini-trees exercise exactly one rule each.  :func:`model_to_dict`
+is the canonical JSON form committed as ``protocol_model.json`` — the
+drift gate (``repro protocol dump --check``) fails CI whenever the
+extracted model and the committed file disagree.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.analysis.callgraph import Project
+from repro.analysis.core import Violation
+
+RULE_NAME = "protocol-conformance"
+
+PROTOCOL_MODULE = "api/protocol.py"
+SERVICE_MODULE = "api/service.py"
+CLIENT_MODULE = "api/client.py"
+ROUTER_MODULE = "cluster/router.py"
+HTTP_MODULE = "api/http.py"
+ERRORS_MODULE = "errors.py"
+
+WIRE_CODES = {
+    "WIRE001": "wire verb is not dispatched by the service handler table",
+    "WIRE002": "wire verb has no client-side constructor (unusable verb)",
+    "WIRE003": "session-less verb is not explicitly intercepted by the router",
+    "WIRE004": "ReproError subclass missing from ERROR_CODES (unstable wire code)",
+    "WIRE005": "STATUS_FOR_CODE maps an unknown error code (stale after rename)",
+    "WIRE006": "V2_ONLY_VERBS declaration and parser version guards disagree",
+}
+
+
+@dataclass
+class VerbInfo:
+    """One wire verb as declared in ``api/protocol.py``."""
+
+    verb: str
+    class_name: str
+    line: int
+    fields: dict[str, bool] = field(default_factory=dict)  # name -> required
+    session: str = "none"  # "required" | "optional" | "none"
+
+
+@dataclass
+class ProtocolModel:
+    """Everything the conformance rules and the drift gate need."""
+
+    protocol_version: int | None = None
+    supported_versions: list[int] = field(default_factory=list)
+    verbs: dict[str, VerbInfo] = field(default_factory=dict)
+    error_codes: dict[str, str] = field(default_factory=dict)  # exc class -> code
+    error_code_lines: dict[str, int] = field(default_factory=dict)
+    read_only: list[str] = field(default_factory=list)
+    v2_only_declared: list[str] | None = None  # None: constant absent
+    v2_only_line: int = 1
+    version_guarded: list[str] = field(default_factory=list)
+    # cross-module facts (None: module absent from the project)
+    dispatched: list[str] | None = None
+    client_wrapped: list[str] | None = None
+    router_intercepted: list[str] | None = None
+    http_status: dict[str, int] | None = None
+    http_status_lines: dict[str, int] = field(default_factory=dict)
+
+    def class_to_verb(self) -> dict[str, str]:
+        return {v.class_name: v.verb for v in self.verbs.values()}
+
+
+# ---------------------------------------------------------------------------
+# extraction
+
+
+def _const_str_tuple(node: ast.AST) -> list[str]:
+    """String elements of a tuple/list/set/frozenset(...) literal."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("frozenset", "tuple", "set", "list") and node.args:
+        node = node.args[0]
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return [e.value for e in node.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)]
+    return []
+
+
+def _extract_verbs(tree: ast.Module) -> dict[str, VerbInfo]:
+    verbs: dict[str, VerbInfo] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        cmd: str | None = None
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "cmd"
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                cmd = stmt.value.value
+        if cmd is None or node.name == "Command":
+            continue  # the base class's "command" placeholder is not a verb
+        info = VerbInfo(verb=cmd, class_name=node.name, line=node.lineno)
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                info.fields[stmt.target.id] = stmt.value is None
+        if "session_id" in info.fields:
+            info.session = "required" if info.fields["session_id"] else "optional"
+        verbs[cmd] = info
+    return verbs
+
+
+def _extract_error_codes(tree: ast.Module, model: ProtocolModel) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if not any(isinstance(t, ast.Name) and t.id == "ERROR_CODES" for t in targets):
+            continue
+        value = node.value
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            continue
+        for pair in value.elts:
+            if (
+                isinstance(pair, ast.Tuple)
+                and len(pair.elts) == 2
+                and isinstance(pair.elts[1], ast.Constant)
+            ):
+                name = pair.elts[0]
+                if isinstance(name, ast.Name):
+                    model.error_codes[name.id] = str(pair.elts[1].value)
+                    model.error_code_lines[name.id] = pair.lineno
+
+
+def _extract_version_guards(tree: ast.Module) -> list[str]:
+    """Class names guarded by a ``version < 2`` rejection in the parser.
+
+    Covers both shapes the parser uses: ``if cls is X and version < 2:
+    raise`` and ``if cls is X: ... if version < 2: raise ...``.
+    """
+
+    def _is_version_lt2(test: ast.AST) -> bool:
+        return any(
+            isinstance(sub, ast.Compare)
+            and isinstance(sub.left, ast.Name)
+            and sub.left.id == "version"
+            and any(isinstance(op, ast.Lt) for op in sub.ops)
+            for sub in ast.walk(test)
+        )
+
+    guarded: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        cls_names = [
+            sub.comparators[0].id
+            for sub in ast.walk(node.test)
+            if isinstance(sub, ast.Compare)
+            and isinstance(sub.left, ast.Name)
+            and sub.left.id == "cls"
+            and len(sub.comparators) == 1
+            and isinstance(sub.comparators[0], ast.Name)
+        ]
+        if not cls_names:
+            continue
+        in_test = _is_version_lt2(node.test) and any(
+            isinstance(s, ast.Raise) for s in node.body
+        )
+        in_body = any(
+            isinstance(sub, ast.If)
+            and _is_version_lt2(sub.test)
+            and any(isinstance(s, ast.Raise) for s in sub.body)
+            for stmt in node.body
+            for sub in ast.walk(stmt)
+        )
+        if in_test or in_body:
+            guarded.extend(cls_names)
+    return guarded
+
+
+def _dict_isinstance_names(tree: ast.Module) -> set[str]:
+    """Every Name used as the class operand of an ``isinstance`` check
+    (tuple operands flattened)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            operand = node.args[1]
+            elts = operand.elts if isinstance(operand, ast.Tuple) else [operand]
+            names.update(e.id for e in elts if isinstance(e, ast.Name))
+    return names
+
+
+def extract_model(project: Project) -> ProtocolModel | None:
+    """Build the protocol model from *project*; None without a protocol
+    module (nothing to check)."""
+    protocol = project.modules.get(PROTOCOL_MODULE)
+    if protocol is None:
+        return None
+    model = ProtocolModel()
+    model.verbs = _extract_verbs(protocol.tree)
+    _extract_error_codes(protocol.tree, model)
+    model.version_guarded = [
+        verb for cls, verb in model.class_to_verb().items()
+        if cls in set(_extract_version_guards(protocol.tree))
+    ]
+    for node in ast.walk(protocol.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        names = {t.id for t in targets if isinstance(t, ast.Name)}
+        if "PROTOCOL_VERSION" in names and isinstance(node.value, ast.Constant):
+            model.protocol_version = int(node.value.value)
+        if "SUPPORTED_VERSIONS" in names and node.value is not None:
+            if isinstance(node.value, ast.Call) and node.value.args:
+                inner = node.value.args[0]
+            else:
+                inner = node.value
+            if isinstance(inner, (ast.Set, ast.Tuple, ast.List)):
+                model.supported_versions = sorted(
+                    e.value for e in inner.elts
+                    if isinstance(e, ast.Constant) and isinstance(e.value, int)
+                )
+        if "READ_ONLY_COMMANDS" in names and node.value is not None:
+            model.read_only = sorted(_const_str_tuple(node.value))
+        if "V2_ONLY_VERBS" in names and node.value is not None:
+            model.v2_only_declared = sorted(_const_str_tuple(node.value))
+            model.v2_only_line = node.lineno
+
+    class_to_verb = model.class_to_verb()
+
+    service = project.modules.get(SERVICE_MODULE)
+    if service is not None:
+        dispatched: set[str] = set()
+        for node in ast.walk(service.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            if not isinstance(node.value, ast.Dict):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            names = {
+                t.attr if isinstance(t, ast.Attribute) else t.id
+                for t in targets
+                if isinstance(t, (ast.Attribute, ast.Name))
+            }
+            if "_handlers" in names:
+                dispatched.update(
+                    k.id for k in node.value.keys if isinstance(k, ast.Name)
+                )
+        dispatched.update(_dict_isinstance_names(service.tree))
+        model.dispatched = sorted(
+            class_to_verb[c] for c in dispatched if c in class_to_verb
+        )
+
+    client = project.modules.get(CLIENT_MODULE)
+    if client is not None:
+        constructed: set[str] = set()
+        for node in ast.walk(client.tree):
+            if isinstance(node, ast.Call):
+                fn = node.func
+                name = fn.attr if isinstance(fn, ast.Attribute) else (
+                    fn.id if isinstance(fn, ast.Name) else None
+                )
+                if name in class_to_verb:
+                    constructed.add(name)
+        model.client_wrapped = sorted(class_to_verb[c] for c in constructed)
+
+    router = project.modules.get(ROUTER_MODULE)
+    if router is not None:
+        intercepted = _dict_isinstance_names(router.tree)
+        model.router_intercepted = sorted(
+            class_to_verb[c] for c in intercepted if c in class_to_verb
+        )
+
+    http = project.modules.get(HTTP_MODULE)
+    if http is not None:
+        model.http_status = {}
+        for node in ast.walk(http.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            names = {t.id for t in targets if isinstance(t, ast.Name)}
+            if "STATUS_FOR_CODE" in names and isinstance(node.value, ast.Dict):
+                for key, val in zip(node.value.keys, node.value.values):
+                    if isinstance(key, ast.Constant) and isinstance(val, ast.Constant):
+                        model.http_status[str(key.value)] = int(val.value)
+                        model.http_status_lines[str(key.value)] = key.lineno
+    return model
+
+
+# ---------------------------------------------------------------------------
+# conformance checks
+
+
+def conformance_violations(
+    model: ProtocolModel, project: Project
+) -> Iterator[Violation]:
+    protocol = project.modules[PROTOCOL_MODULE]
+    protocol_path = str(protocol.path)
+
+    if model.dispatched is not None:
+        service_path = str(project.modules[SERVICE_MODULE].path)
+        for verb, info in sorted(model.verbs.items()):
+            if verb not in model.dispatched:
+                yield Violation(
+                    protocol_path, info.line, 0, "WIRE001", RULE_NAME,
+                    f"verb {verb!r} ({info.class_name}) is in COMMANDS but"
+                    f" {service_path} never dispatches it — add it to the"
+                    " service handler table (it currently answers"
+                    " 'not dispatchable')",
+                )
+
+    if model.client_wrapped is not None:
+        for verb, info in sorted(model.verbs.items()):
+            if verb not in model.client_wrapped:
+                yield Violation(
+                    protocol_path, info.line, 0, "WIRE002", RULE_NAME,
+                    f"verb {verb!r} ({info.class_name}) is never constructed"
+                    " by api/client.py — every wire verb needs a client-side"
+                    " wrapper or it is unreachable from the blocking client",
+                )
+
+    if model.router_intercepted is not None:
+        for verb, info in sorted(model.verbs.items()):
+            if info.session != "required" and verb not in model.router_intercepted:
+                yield Violation(
+                    protocol_path, info.line, 0, "WIRE003", RULE_NAME,
+                    f"verb {verb!r} ({info.class_name}) has no required"
+                    " session_id, so the router's generic forward cannot"
+                    " place it — intercept it explicitly in"
+                    " cluster/router.py (isinstance check)",
+                )
+
+    errors = project.modules.get(ERRORS_MODULE)
+    if errors is not None and model.error_codes:
+        errors_path = str(errors.path)
+        for node in ast.walk(errors.tree):
+            if isinstance(node, ast.ClassDef) and node.name not in model.error_codes:
+                yield Violation(
+                    errors_path, node.lineno, 0, "WIRE004", RULE_NAME,
+                    f"exception class {node.name} has no entry in"
+                    " ERROR_CODES — it would cross the wire as its nearest"
+                    " ancestor's code; every ReproError subclass gets a"
+                    " stable code of its own",
+                )
+
+    if model.http_status is not None and model.error_codes:
+        http_path = str(project.modules[HTTP_MODULE].path)
+        # INTERNAL is the synthesized catch-all code (not an exception
+        # mapping), so it is legitimately status-mapped without an
+        # ERROR_CODES entry.
+        known = set(model.error_codes.values()) | {"INTERNAL"}
+        for code, line in sorted(model.http_status_lines.items()):
+            if code not in known:
+                yield Violation(
+                    http_path, line, 0, "WIRE005", RULE_NAME,
+                    f"STATUS_FOR_CODE maps {code!r}, which no ERROR_CODES"
+                    " entry produces — stale after a code rename; the"
+                    " intended HTTP status silently stopped applying",
+                )
+
+    if model.v2_only_declared is not None:
+        declared = set(model.v2_only_declared)
+        guarded = set(model.version_guarded)
+        for verb in sorted(declared - guarded):
+            info = model.verbs.get(verb)
+            yield Violation(
+                protocol_path, info.line if info else model.v2_only_line, 0,
+                "WIRE006", RULE_NAME,
+                f"verb {verb!r} is declared v2-only (V2_ONLY_VERBS) but the"
+                " parser has no `version < 2` rejection for it — a v1"
+                " request would reach a v2-only code path",
+            )
+        for verb in sorted(guarded - declared):
+            yield Violation(
+                protocol_path, model.v2_only_line, 0, "WIRE006", RULE_NAME,
+                f"the parser version-guards verb {verb!r} but V2_ONLY_VERBS"
+                " does not declare it — keep the declaration exhaustive;"
+                " it is what the drift gate and the docs are checked"
+                " against",
+            )
+
+
+# ---------------------------------------------------------------------------
+# canonical JSON (the drift gate's subject)
+
+
+def model_to_dict(model: ProtocolModel) -> dict[str, Any]:
+    """Stable, committed-to-git form of the model.
+
+    Everything here is an *intentional* wire contract: a diff in this
+    dict is a protocol change and must be reviewed as one.
+    """
+    verbs: dict[str, Any] = {}
+    for verb, info in sorted(model.verbs.items()):
+        verbs[verb] = {
+            "class": info.class_name,
+            "fields": {k: {"required": not optional}
+                       for k, optional in sorted(info.fields.items())},
+            "session": info.session,
+            "read_only": verb in set(model.read_only),
+            "min_version": 2 if verb in set(model.v2_only_declared or ()) else 1,
+        }
+    return {
+        "protocol_version": model.protocol_version,
+        "supported_versions": model.supported_versions,
+        "verbs": verbs,
+        "v2_only": sorted(model.v2_only_declared or []),
+        "read_only": sorted(model.read_only),
+        "error_codes": dict(sorted(model.error_codes.items())),
+        "http_status": dict(sorted((model.http_status or {}).items())),
+        "dispatched": model.dispatched,
+        "client_wrapped": model.client_wrapped,
+        "router_intercepted": model.router_intercepted,
+    }
+
+
+def render_model(model: ProtocolModel) -> str:
+    return json.dumps(model_to_dict(model), indent=2, sort_keys=True) + "\n"
+
+
+def diff_model(committed: dict[str, Any], extracted: dict[str, Any]) -> list[str]:
+    """Human-readable drift between the committed and extracted models."""
+    lines: list[str] = []
+
+    def walk(prefix: str, a: Any, b: Any) -> None:
+        if isinstance(a, dict) and isinstance(b, dict):
+            for key in sorted(set(a) | set(b)):
+                sub = f"{prefix}.{key}" if prefix else str(key)
+                if key not in a:
+                    lines.append(f"+ {sub}: {json.dumps(b[key], sort_keys=True)}")
+                elif key not in b:
+                    lines.append(f"- {sub}: {json.dumps(a[key], sort_keys=True)}")
+                else:
+                    walk(sub, a[key], b[key])
+        elif a != b:
+            lines.append(
+                f"~ {prefix}: {json.dumps(a, sort_keys=True)}"
+                f" -> {json.dumps(b, sort_keys=True)}"
+            )
+
+    walk("", committed, extracted)
+    return lines

@@ -124,6 +124,7 @@ __all__ = [
     "error_code_for",
     "jsonable",
     "READ_ONLY_COMMANDS",
+    "V2_ONLY_VERBS",
 ]
 
 #: The newest protocol version this build speaks.  Bump on any breaking
@@ -561,6 +562,12 @@ COMMANDS: dict[str, type[Command]] = {
 READ_ONLY_COMMANDS: frozenset[str] = frozenset(
     {"wealth", "decision_log", "export", "list_datasets", "stats"}
 )
+
+#: Verbs a v1 envelope must be rejected for.  This declaration is checked
+#: against the parser's actual ``version < 2`` guards by the
+#: whole-program conformance pass (WIRE006): adding a v2-only verb here
+#: without the guard — or the reverse — fails `repro lint --whole-program`.
+V2_ONLY_VERBS: frozenset[str] = frozenset({"pipeline", "recover"})
 
 
 def command_to_dict(command: Command) -> dict:

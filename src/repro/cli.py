@@ -183,9 +183,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files or directories to lint (default: src)")
     lint.add_argument("--rule", action="append", default=None, metavar="NAME",
                       help="run only this rule (repeatable)")
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+    lint.add_argument("--whole-program", action="store_true",
+                      help="also run the cross-module conformance pass"
+                           " (protocol drift, determinism taint)")
+    lint.add_argument("--check-lock-dump", metavar="PATH", default=None,
+                      help="cross-validate a REPRO_LOCK_CHECK_DUMP file"
+                           " against the static lock-order graph")
+
+    protocol = sub.add_parser(
+        "protocol",
+        help="inspect the AST-extracted wire-protocol model",
+    )
+    protocol.add_argument("action", choices=("dump",),
+                          help="dump: print the protocol model as canonical JSON")
+    protocol.add_argument("--check", metavar="PATH", default=None,
+                          help="compare against a committed model instead of"
+                               " printing; non-zero exit on drift")
+    protocol.add_argument("--src", default="src", metavar="DIR",
+                          help="source tree to extract from (default: src)")
     return parser
 
 
@@ -455,7 +474,44 @@ def _run_lint(args: argparse.Namespace) -> int:
     for rule in args.rule or ():
         argv.extend(["--rule", rule])
     argv.extend(["--format", args.format])
+    if args.whole_program:
+        argv.append("--whole-program")
+    if args.check_lock_dump:
+        argv.extend(["--check-lock-dump", args.check_lock_dump])
     return lint_main(argv)
+
+
+def _run_protocol(args: argparse.Namespace) -> int:
+    """`repro protocol dump [--check committed.json]` — the drift gate."""
+    import json
+
+    from repro.analysis.callgraph import Project
+    from repro.analysis.protocol_model import (
+        diff_model, extract_model, model_to_dict, render_model,
+    )
+
+    project = Project.from_paths([args.src])
+    model = extract_model(project)
+    if model is None:
+        print(f"error: no api/protocol.py under {args.src}", file=sys.stderr)
+        return 2
+    if args.check is None:
+        print(render_model(model), end="")
+        return 0
+    with open(args.check, encoding="utf-8") as handle:
+        committed = json.load(handle)
+    drift = diff_model(committed, model_to_dict(model))
+    if drift:
+        print(f"protocol drift against {args.check}:")
+        for line in drift:
+            print(f"  {line}")
+        print(
+            "regenerate with `repro protocol dump > protocol_model.json`"
+            " if the change is intentional"
+        )
+        return 1
+    print(f"protocol model matches {args.check}")
+    return 0
 
 
 _COMMANDS = {
@@ -477,6 +533,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "protocol":
+        return _run_protocol(args)
     if args.command == "all":
         for name in ("motivating", "holdout", "exp1a", "exp1b", "exp1c", "exp2"):
             sub_args = parser.parse_args(

@@ -1,0 +1,15 @@
+"""Builds a DecisionRecord from a helper that reads the wall clock —
+nondeterminism crossing a module boundary on its way into the log."""
+
+from repro.service.clockutil import stamp
+
+
+class DecisionRecord:
+    def __init__(self, index, decided_at):
+        self.index = index
+        self.decided_at = decided_at
+
+
+def decide(index):
+    when = stamp()
+    return DecisionRecord(index, decided_at=when)  # seed: DET101

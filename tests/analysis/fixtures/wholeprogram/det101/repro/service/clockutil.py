@@ -1,0 +1,7 @@
+"""A wall-clock helper — the taint source module for the DET101 case."""
+
+import time
+
+
+def stamp():
+    return time.time()

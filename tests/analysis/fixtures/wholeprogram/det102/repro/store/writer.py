@@ -1,0 +1,8 @@
+"""Stamps a WAL entry with the wall clock — replay would diverge."""
+
+import time
+
+
+def write_entry(store, payload):
+    entry = {"payload": payload, "written_at": time.time()}
+    store.append(entry)  # seed: DET102

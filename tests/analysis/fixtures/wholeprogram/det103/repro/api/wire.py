@@ -1,0 +1,15 @@
+"""Puts an unseeded RNG draw into a wire payload — two replicas of the
+same session would answer different bytes."""
+
+import random
+
+
+class Response:
+    @classmethod
+    def success(cls, result):
+        return {"ok": True, "result": result}
+
+
+def sample_result():
+    draw = random.random()
+    return Response.success({"draw": draw})  # seed: DET103

@@ -1,0 +1,18 @@
+"""Two locks with one legal nesting: fix.outer may wrap fix.inner.
+
+The lock-graph test fabricates runtime dumps against this tree: the
+declared order validates, the reversed order is an LCK101 finding.
+"""
+
+from repro.analysis.runtime import make_lock
+
+
+class Pair:
+    def __init__(self):
+        self._outer_lock = make_lock("fix.outer")
+        self._inner_lock = make_lock("fix.inner")
+
+    def nested(self):
+        with self._outer_lock:
+            with self._inner_lock:
+                return True

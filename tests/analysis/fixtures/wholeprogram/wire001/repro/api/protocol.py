@@ -1,0 +1,15 @@
+"""WIRE001 fixture: a verb the service never dispatches."""
+
+
+class Command:
+    cmd = "command"
+
+
+class Show(Command):
+    cmd = "show"
+    session_id: str
+
+
+class Star(Command):  # seed: WIRE001
+    cmd = "star"
+    session_id: str

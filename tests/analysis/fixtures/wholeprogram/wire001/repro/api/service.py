@@ -1,0 +1,13 @@
+"""Dispatches `show` but forgot `star`."""
+
+from repro.api.protocol import Show
+
+
+class Service:
+    def __init__(self):
+        self._handlers = {
+            Show: self._show,
+        }
+
+    def _show(self, command):
+        return {"ok": True}

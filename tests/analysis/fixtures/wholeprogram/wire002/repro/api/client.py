@@ -1,0 +1,11 @@
+"""Wraps `show` only; `wealth` is unreachable from here."""
+
+from repro.api.protocol import Show
+
+
+class Client:
+    def show(self, session_id):
+        return self._send(Show(session_id=session_id))
+
+    def _send(self, command):
+        return command

@@ -1,0 +1,15 @@
+"""WIRE002 fixture: a verb the client never constructs."""
+
+
+class Command:
+    cmd = "command"
+
+
+class Show(Command):
+    cmd = "show"
+    session_id: str
+
+
+class Wealth(Command):  # seed: WIRE002
+    cmd = "wealth"
+    session_id: str

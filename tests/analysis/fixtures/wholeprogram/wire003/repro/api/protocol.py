@@ -1,0 +1,18 @@
+"""WIRE003 fixture: a session-less verb the router cannot place."""
+
+
+class Command:
+    cmd = "command"
+
+
+class Show(Command):
+    cmd = "show"
+    session_id: str
+
+
+class ListDatasets(Command):
+    cmd = "list_datasets"
+
+
+class Stats(Command):  # seed: WIRE003
+    cmd = "stats"

@@ -1,0 +1,16 @@
+"""Intercepts `list_datasets`; `stats` has no session_id to route on."""
+
+from repro.api.protocol import ListDatasets
+
+
+class Router:
+    def handle(self, command):
+        if isinstance(command, ListDatasets):
+            return self._fan_out(command)
+        return self._forward(command.session_id, command)
+
+    def _fan_out(self, command):
+        return []
+
+    def _forward(self, session_id, command):
+        return command

@@ -1,0 +1,13 @@
+"""WIRE004 fixture home: ERROR_CODES misses one errors.py class."""
+
+from repro.errors import ReproError, SessionError
+
+
+class Command:
+    cmd = "command"
+
+
+ERROR_CODES = (
+    (SessionError, "SESSION"),
+    (ReproError, "REPRO_ERROR"),
+)

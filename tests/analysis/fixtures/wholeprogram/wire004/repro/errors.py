@@ -1,0 +1,13 @@
+"""Exception taxonomy with one class missing from ERROR_CODES."""
+
+
+class ReproError(Exception):
+    pass
+
+
+class SessionError(ReproError):
+    pass
+
+
+class WealthExhaustedError(ReproError):  # seed: WIRE004
+    pass

@@ -1,0 +1,7 @@
+"""Maps a code that no ERROR_CODES entry produces (stale after rename)."""
+
+STATUS_FOR_CODE = {
+    "SESSION": 404,
+    "INTERNAL": 500,
+    "WEALTH_DRAINED": 409,  # seed: WIRE005
+}

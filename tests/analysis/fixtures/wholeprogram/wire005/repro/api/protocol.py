@@ -1,0 +1,13 @@
+"""WIRE005 fixture home: a status mapping for a code nothing produces."""
+
+from repro.errors import ReproError, SessionError
+
+
+class Command:
+    cmd = "command"
+
+
+ERROR_CODES = (
+    (SessionError, "SESSION"),
+    (ReproError, "REPRO_ERROR"),
+)

@@ -1,0 +1,26 @@
+"""WIRE006 fixture: declared v2-only, but the parser never rejects v1."""
+
+
+class Command:
+    cmd = "command"
+
+
+class Show(Command):
+    cmd = "show"
+    session_id: str
+
+
+class Pipeline(Command):  # seed: WIRE006
+    cmd = "pipeline"
+
+
+V2_ONLY_VERBS = frozenset({"pipeline"})
+
+COMMANDS = {cls.cmd: cls for cls in (Show, Pipeline)}
+
+
+def parse(payload):
+    version = int(payload.get("v", 2))
+    cls = COMMANDS[payload["cmd"]]
+    # Missing: `if cls is Pipeline and version < 2: raise ...`
+    return cls()

@@ -16,12 +16,21 @@ from repro.cli import main as cli_main
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src"
+#: Every tree the linter owns.  Fixture trees (under tests/) seed
+#: deliberate violations and stay out.
+LINTED_TREES = [SRC, REPO_ROOT / "benchmarks", REPO_ROOT / "examples"]
 
 
 def test_src_is_lint_clean():
     report = run_lint([SRC])
     assert report.clean, report.render_text()
     assert report.files > 70  # the sweep actually covered the package
+
+
+def test_benchmarks_and_examples_are_lint_clean():
+    report = run_lint(LINTED_TREES)
+    assert report.clean, report.render_text()
+    assert report.files > 90  # src + benchmarks + examples all swept
 
 
 def test_cli_lint_exits_zero(capsys):

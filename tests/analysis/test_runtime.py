@@ -154,3 +154,32 @@ def test_clear_events_keeps_order_graph():
     with pytest.raises(rt.LockDisciplineError), b:
         with a:
             pass  # pragma: no cover - never reached
+
+
+def test_order_graph_snapshot_survives_reset():
+    a, b = rt.make_lock("t13.a"), rt.make_lock("t13.b")
+    with a, b:
+        pass
+    assert ("t13.a", "t13.b") in rt.order_graph()
+    rt.reset_order_graph()
+    # The dump export reports everything ever observed: a test resetting
+    # for isolation must not erase history the cross-validator needs.
+    assert ("t13.a", "t13.b") in rt.order_graph()
+
+
+def test_dump_order_graph_appends_jsonl(tmp_path):
+    a, b = rt.make_lock("t14.a"), rt.make_lock("t14.b")
+    with a, b:
+        pass
+    dump = tmp_path / "edges.jsonl"
+    rt.dump_order_graph(str(dump))
+    rt.dump_order_graph(str(dump))  # second process would append, not clobber
+    assert len(dump.read_text().splitlines()) == 2
+    assert ("t14.a", "t14.b") in rt.load_order_dump(str(dump))
+
+
+def test_dump_registered_at_exit_when_env_set(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_LOCK_CHECK_DUMP", str(tmp_path / "d.jsonl"))
+    monkeypatch.setattr(rt, "_dump_registered", False)
+    rt.make_lock("t15.a")
+    assert rt._dump_registered

@@ -1,0 +1,232 @@
+"""Whole-program conformance pass: fixtures, drift gate, lock graph.
+
+The ``fixtures/wholeprogram/<case>/`` directories are miniature project
+trees, one per rule; each seeds exactly one violation with a trailing
+``# seed: <CODE>`` comment, and the harness asserts the pass reports
+exactly that set.  The drift gate and the static↔runtime lock-graph
+cross-validation are exercised against the real ``src/`` tree, mirroring
+what CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import Project
+from repro.analysis.core import suppress_by_pragma
+from repro.analysis.protocol_model import (
+    WIRE_CODES,
+    diff_model,
+    extract_model,
+    model_to_dict,
+)
+from repro.analysis.whole_program import (
+    DET_CODES,
+    run_whole_program,
+    static_lock_edges,
+    validate_lock_dump,
+)
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+CASES = Path(__file__).parent / "fixtures" / "wholeprogram"
+
+_SEED = re.compile(r"#\s*seed:\s*([A-Z]+\d+)")
+
+
+def seeded(case_dir: Path) -> set[tuple[str, int, str]]:
+    expected = set()
+    for path in case_dir.rglob("*.py"):
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            for code in _SEED.findall(line):
+                expected.add((path.name, lineno, code))
+    return expected
+
+
+@pytest.mark.parametrize(
+    "case", sorted(p.name for p in CASES.iterdir() if p.is_dir())
+)
+def test_fixture_findings_match_seeds(case):
+    violations = run_whole_program([str(CASES / case)])
+    reported = {(Path(v.path).name, v.line, v.code) for v in violations}
+    assert reported == seeded(CASES / case)
+
+
+def test_fixture_corpus_covers_every_wire_and_det_code():
+    codes = set()
+    for case_dir in CASES.iterdir():
+        if case_dir.is_dir():
+            codes |= {code for _, _, code in seeded(case_dir)}
+    shipped = set(WIRE_CODES) | set(DET_CODES)
+    assert shipped <= codes, f"codes without a fixture: {shipped - codes}"
+
+
+def test_src_is_whole_program_clean():
+    assert run_whole_program([str(SRC)]) == []
+
+
+def test_cli_whole_program_exits_zero():
+    assert cli_main(["lint", str(SRC), "--whole-program"]) == 0
+
+
+def test_whole_program_findings_respect_pragmas(tmp_path):
+    tree = tmp_path / "repro" / "api"
+    tree.mkdir(parents=True)
+    (tree / "protocol.py").write_text(
+        "class Command:\n"
+        "    cmd = 'command'\n"
+        "class Show(Command):\n"
+        "    cmd = 'show'  # reprolint: allow(WIRE002) — fixture\n"
+    )
+    (tree / "client.py").write_text("x = 1\n")
+    raw = run_whole_program([str(tmp_path)])
+    assert [v.code for v in raw] == ["WIRE002"]
+    # The pragma is on the class's `cmd` line, not its def line — move it.
+    (tree / "protocol.py").write_text(
+        "class Command:\n"
+        "    cmd = 'command'\n"
+        "class Show(Command):  # reprolint: allow(WIRE002) — fixture\n"
+        "    cmd = 'show'\n"
+    )
+    assert suppress_by_pragma(run_whole_program([str(tmp_path)])) == []
+
+
+# -- protocol model drift gate ----------------------------------------------
+
+
+def test_committed_protocol_model_matches_extraction():
+    """The CI drift gate, in-repo: protocol_model.json is regenerated
+    whenever the wire contract changes."""
+    committed = json.loads((REPO_ROOT / "protocol_model.json").read_text())
+    extracted = model_to_dict(extract_model(Project.from_paths([str(SRC)])))
+    assert diff_model(committed, extracted) == []
+
+
+def test_drift_gate_catches_removed_error_code():
+    committed = json.loads((REPO_ROOT / "protocol_model.json").read_text())
+    del committed["error_codes"]["StoreError"]
+    extracted = model_to_dict(extract_model(Project.from_paths([str(SRC)])))
+    drift = diff_model(committed, extracted)
+    assert any("StoreError" in line for line in drift)
+
+
+def test_drift_gate_catches_removed_dispatch_arm():
+    committed = json.loads((REPO_ROOT / "protocol_model.json").read_text())
+    committed["dispatched"].remove("star")
+    extracted = model_to_dict(extract_model(Project.from_paths([str(SRC)])))
+    assert any("dispatched" in line for line in diff_model(committed, extracted))
+
+
+def test_protocol_cli_dump_and_check(tmp_path, capsys):
+    assert cli_main(["protocol", "dump", "--src", str(SRC)]) == 0
+    dumped = capsys.readouterr().out
+    model_file = tmp_path / "model.json"
+    model_file.write_text(dumped)
+    assert cli_main(
+        ["protocol", "dump", "--src", str(SRC), "--check", str(model_file)]
+    ) == 0
+    stale = json.loads(dumped)
+    stale["verbs"].pop("pipeline")
+    model_file.write_text(json.dumps(stale))
+    assert cli_main(
+        ["protocol", "dump", "--src", str(SRC), "--check", str(model_file)]
+    ) == 1
+    assert "drift" in capsys.readouterr().out
+
+
+def test_model_declares_v2_only_verbs():
+    model = extract_model(Project.from_paths([str(SRC)]))
+    data = model_to_dict(model)
+    assert data["v2_only"] == ["pipeline", "recover"]
+    assert data["verbs"]["pipeline"]["min_version"] == 2
+    assert data["verbs"]["show"]["min_version"] == 1
+
+
+# -- static lock-order graph ------------------------------------------------
+
+
+def test_static_graph_predicts_known_runtime_edges():
+    """Regression floor: orders the service tier demonstrably exhibits
+    (session lock wrapping store/engine/broker work, router wrapping a
+    local worker) must stay in the extracted graph."""
+    static = static_lock_edges(Project.from_paths([str(SRC)]))
+    for edge in [
+        ("manager.session", "store.jsonl"),
+        ("manager.session", "store.memory"),
+        ("manager.session", "store.idem-index"),
+        ("manager.session", "engine.cache"),
+        ("manager.session", "events.broker"),
+        ("service.admission", "manager.registry"),
+        ("router.session", "router.registry"),
+        ("router.session", "manager.session"),
+    ]:
+        assert edge in static, edge
+
+
+def test_static_graph_has_no_self_edges():
+    static = static_lock_edges(Project.from_paths([str(SRC)]))
+    assert not [e for e in static if e[0] == e[1]]
+
+
+def _write_dump(path: Path, edges: list[list[str]]) -> None:
+    path.write_text(json.dumps({"pid": 1, "edges": edges}) + "\n")
+
+
+def test_lock_dump_validation_accepts_predicted_order(tmp_path):
+    dump = tmp_path / "dump.jsonl"
+    _write_dump(dump, [["fix.outer", "fix.inner"]])
+    project = Project.from_paths([str(CASES / "lockgraph")])
+    violations, _ = validate_lock_dump(project, str(dump))
+    assert violations == []
+
+
+def test_lock_dump_validation_flags_unpredicted_order(tmp_path):
+    dump = tmp_path / "dump.jsonl"
+    _write_dump(dump, [["fix.inner", "fix.outer"]])
+    project = Project.from_paths([str(CASES / "lockgraph")])
+    violations, _ = validate_lock_dump(project, str(dump))
+    assert [v.code for v in violations] == ["LCK101"]
+    assert "fix.inner" in violations[0].message
+
+
+def test_lock_dump_validation_skips_foreign_lock_classes(tmp_path):
+    """Ad-hoc locks fabricated by tests are outside the analyzed tree
+    and must not fail the gate — they surface as warnings instead."""
+    dump = tmp_path / "dump.jsonl"
+    _write_dump(dump, [["test.a", "test.b"]])
+    project = Project.from_paths([str(CASES / "lockgraph")])
+    violations, warnings = validate_lock_dump(project, str(dump))
+    assert violations == []
+    assert any("outside the analyzed tree" in w for w in warnings)
+
+
+def test_cli_check_lock_dump(tmp_path, capsys):
+    dump = tmp_path / "dump.jsonl"
+    _write_dump(dump, [["fix.inner", "fix.outer"]])
+    case = str(CASES / "lockgraph")
+    assert cli_main(["lint", case, "--check-lock-dump", str(dump)]) == 1
+    assert "LCK101" in capsys.readouterr().out
+    _write_dump(dump, [["fix.outer", "fix.inner"]])
+    assert cli_main(["lint", case, "--check-lock-dump", str(dump)]) == 0
+
+
+# -- sarif ------------------------------------------------------------------
+
+
+def test_sarif_output_shape(capsys):
+    fixtures = Path(__file__).parent / "fixtures" / "repro"
+    assert cli_main(["lint", str(fixtures), "--format", "sarif"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "reprolint"
+    assert run["results"], "expected findings from the bad_* fixtures"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {r["ruleId"] for r in run["results"]} <= rule_ids
+    loc = run["results"][0]["locations"][0]["physicalLocation"]
+    assert loc["region"]["startLine"] >= 1
